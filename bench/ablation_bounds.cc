@@ -1,0 +1,66 @@
+// Ablation (beyond the paper): what each ingredient of the Section 6.2
+// partial-information processing buys — lower-bound pruning, upper-bound
+// early acceptance, and the surplus-slot refinement of the lower bound.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/report.h"
+#include "invidx/augmented_inverted_index.h"
+#include "invidx/list_at_a_time.h"
+
+namespace topk {
+namespace {
+
+void RunConfig(const char* label, const RankingStore& store,
+               const std::vector<PreparedQuery>& queries,
+               const LaatOptions& options, double theta, TextTable* table) {
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListAtATimeEngine engine(&index, options);
+  const RawDistance theta_raw = RawThreshold(theta, store.k());
+  Statistics stats;
+  Stopwatch watch;
+  for (const PreparedQuery& query : queries) {
+    engine.Query(query, theta_raw, &stats);
+  }
+  table->AddRow(
+      {label, FormatDouble(theta, 1), FormatDouble(watch.ElapsedMillis(), 2),
+       std::to_string(stats.Get(Ticker::kPrunedByLowerBound)),
+       std::to_string(stats.Get(Ticker::kAcceptedByUpperBound)),
+       std::to_string(stats.Get(Ticker::kResults))});
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Ablation: List-at-a-Time bound ingredients (NYT-like, k=10)", args);
+  const RankingStore store = bench::MakeNyt(args, 10);
+  const auto queries = bench::MakeBenchWorkload(store, args);
+
+  TextTable table({"configuration", "theta", "ms", "pruned_lower",
+                   "accepted_upper", "results"});
+  for (double theta : {0.1, 0.3}) {
+    LaatOptions none;
+    none.prune_lower_bound = false;
+    none.accept_upper_bound = false;
+    RunConfig("no bounds (exhaustive)", store, queries, none, theta, &table);
+
+    LaatOptions prune_only;
+    prune_only.accept_upper_bound = false;
+    RunConfig("prune only", store, queries, prune_only, theta, &table);
+
+    LaatOptions both;
+    RunConfig("prune + early accept", store, queries, both, theta, &table);
+
+    LaatOptions refined;
+    refined.refined_lower_bound = true;
+    RunConfig("prune + accept + refined L", store, queries, refined, theta,
+              &table);
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation (beyond the paper): how the partitioning strategy behind the
+// coarse index affects build cost, partition structure, and query time.
+// Compares the strict BK extraction (our default, Lemma 1 by
+// construction), the paper's literal subtree extraction (cheaper build,
+// looser radii), and Chavez-Navarro random medoids (the cost model's
+// assumption).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "coarse/coarse_index.h"
+#include "harness/report.h"
+
+namespace topk {
+namespace {
+
+void RunDataset(const char* name, const RankingStore& store,
+                const bench::BenchArgs& args) {
+  const auto queries = bench::MakeBenchWorkload(store, args);
+  std::cout << "\n--- " << name << " (k=10, theta=0.2, theta_C=0.3) ---\n";
+  TextTable table({"partitioner", "build_s", "partitions", "max_radius",
+                   "query_ms", "dfc_thousands"});
+  for (PartitionerKind kind :
+       {PartitionerKind::kBkStrict, PartitionerKind::kBkSubtree,
+        PartitionerKind::kChavezNavarro}) {
+    CoarseOptions options;
+    options.theta_c = 0.3;
+    options.partitioner = kind;
+    Stopwatch build_watch;
+    const CoarseIndex index = CoarseIndex::Build(&store, options);
+    const double build_s = build_watch.ElapsedMillis() / 1000.0;
+
+    Statistics stats;
+    const RawDistance theta_raw = RawThreshold(0.2, 10);
+    Stopwatch query_watch;
+    for (const PreparedQuery& query : queries) {
+      index.Query(query, theta_raw, &stats);
+    }
+    table.AddRow(
+        {PartitionerKindName(kind), FormatDouble(build_s, 3),
+         std::to_string(index.num_partitions()),
+         std::to_string(index.max_radius()),
+         FormatDouble(query_watch.ElapsedMillis(), 2),
+         FormatDouble(
+             static_cast<double>(stats.Get(Ticker::kDistanceCalls)) / 1000.0,
+             1)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  // Chavez-Navarro is O(M * n) distances; keep the default modest.
+  if (!args.full && args.nyt_n > 20000) args.nyt_n = 20000;
+  bench::PrintHeader("Ablation: coarse-index partitioning strategies", args);
+  const RankingStore nyt = bench::MakeNyt(args, 10);
+  const RankingStore yago = bench::MakeYago(args, 10);
+  RunDataset("NYT-like", nyt, args);
+  RunDataset("Yago-like", yago, args);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared driver for the Figure 8 / Figure 9 all-algorithm comparisons.
+
+#ifndef TOPK_BENCH_ALGO_COMPARISON_H_
+#define TOPK_BENCH_ALGO_COMPARISON_H_
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/query_algorithms.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace topk {
+namespace bench {
+
+/// Runs the paper's algorithm roster over theta in {0, .1, .2, .3} for the
+/// two stores (k = 10 and k = 20) and prints one ms-per-workload table per
+/// k, with the paper's coarse settings (theta_C = 0.5 / 0.06).
+inline void RunAlgorithmComparison(const BenchArgs& args,
+                                   const RankingStore& store10,
+                                   const RankingStore& store20) {
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kFV,           Algorithm::kListMerge,
+      Algorithm::kAdaptSearch,  Algorithm::kMinimalFV,
+      Algorithm::kCoarse,       Algorithm::kCoarseDrop,
+      Algorithm::kBlockedPrune, Algorithm::kBlockedPruneDrop,
+      Algorithm::kFVDrop,       Algorithm::kLaatPrune,
+  };
+  const std::vector<double> thetas = {0.0, 0.1, 0.2, 0.3};
+
+  for (const RankingStore* store : {&store10, &store20}) {
+    const uint32_t k = store->k();
+    std::cout << "\n--- k = " << k
+              << " (Coarse theta_C=0.5; Coarse+Drop theta_C=0.06); ms per "
+              << args.queries << " queries ---\n";
+    const auto queries = MakeBenchWorkload(*store, args);
+    EngineSuite suite(store);
+    TextTable table({"algorithm", "theta=0", "theta=0.1", "theta=0.2",
+                     "theta=0.3"});
+    for (Algorithm algorithm : algorithms) {
+      std::vector<std::string> row = {AlgorithmName(algorithm)};
+      for (double theta : thetas) {
+        const RawDistance theta_raw = RawThreshold(theta, k);
+        auto engine = algorithm == Algorithm::kMinimalFV
+                          ? suite.MakeOracleEngine(queries, theta_raw)
+                          : suite.MakeEngine(algorithm);
+        const RunResult result =
+            RunQueries(engine.get(), queries, theta_raw);
+        row.push_back(FormatDouble(result.wall_ms, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_ALGO_COMPARISON_H_

@@ -1,0 +1,86 @@
+// Shared scaffolding for the experiment benches: command-line scaling
+// knobs, the two paper-shaped datasets, and workload construction.
+//
+// Every bench runs at laptop scale by default and prints its exact
+// parameters; pass --full for paper-scale collection sizes, or override
+// individual knobs (--nyt-n=, --yago-n=, --queries=, --seed=).
+
+#ifndef TOPK_BENCH_BENCH_UTIL_H_
+#define TOPK_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/workload.h"
+
+namespace topk {
+namespace bench {
+
+struct BenchArgs {
+  uint32_t nyt_n = 40000;
+  uint32_t yago_n = 25000;
+  size_t queries = 300;
+  uint64_t seed = 1;
+  bool full = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&arg](const char* prefix) -> const char* {
+        const size_t len = std::strlen(prefix);
+        return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+      };
+      if (const char* v = value("--nyt-n=")) {
+        args.nyt_n = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = value("--yago-n=")) {
+        args.yago_n = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = value("--queries=")) {
+        args.queries = std::strtoul(v, nullptr, 10);
+      } else if (const char* v = value("--seed=")) {
+        args.seed = std::strtoull(v, nullptr, 10);
+      } else if (arg == "--full") {
+        args.full = true;
+        args.nyt_n = 1000000;
+        args.yago_n = 25000;
+        args.queries = 1000;
+      }
+    }
+    return args;
+  }
+};
+
+inline RankingStore MakeNyt(const BenchArgs& args, uint32_t k) {
+  return Generate(NytLikeOptions(args.nyt_n, k, args.seed));
+}
+
+inline RankingStore MakeYago(const BenchArgs& args, uint32_t k) {
+  return Generate(YagoLikeOptions(args.yago_n, k, args.seed + 1));
+}
+
+inline std::vector<PreparedQuery> MakeBenchWorkload(const RankingStore& store,
+                                                    const BenchArgs& args) {
+  WorkloadOptions options;
+  options.num_queries = args.queries;
+  options.perturbed_fraction = 0.7;
+  options.seed = args.seed + 99;
+  return MakeWorkload(store, options);
+}
+
+inline void PrintHeader(const char* title, const BenchArgs& args) {
+  std::cout << "##### " << title << " #####\n"
+            << "# datasets: NYT-like n=" << args.nyt_n
+            << ", Yago-like n=" << args.yago_n
+            << "; queries=" << args.queries << "; seed=" << args.seed
+            << "\n# paper: EDBT 2015, 10.5441/002/edbt.2015.23\n";
+}
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_BENCH_UTIL_H_

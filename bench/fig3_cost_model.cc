@@ -1,0 +1,57 @@
+// Figure 3: the analytical cost model's filter / validate / overall
+// curves against the partitioning threshold theta_C, for both datasets at
+// k = 10, theta = 0.2.
+//
+// The paper plots "runtime cost" in model units; we print nanoseconds per
+// query as predicted by the calibrated model. The expected shape: filter
+// cost falls with theta_C (fewer medoids), validation cost rises (larger
+// partitions), the sum is U-shaped with a sweet spot in between.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "costmodel/cost_model.h"
+#include "data/dataset_stats.h"
+#include "harness/report.h"
+
+namespace topk {
+namespace {
+
+void RunDataset(const char* name, const RankingStore& store, double theta) {
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 256);
+  std::cout << "\n--- " << name << " (n=" << inputs.n << ", k=" << inputs.k
+            << ", v=" << inputs.v
+            << ", fitted zipf s=" << FormatDouble(inputs.zipf_s, 3)
+            << ", theta=" << theta << ") ---\n";
+  const CoarseCostModel model(inputs);
+
+  TextTable table({"theta_C", "filter_cost_ns", "validate_cost_ns",
+                   "overall_ns"});
+  const auto grid = MakeGrid(0.02, 0.8, 0.02);
+  const auto tuned = model.Tune(theta, grid);
+  for (const auto& point : tuned.series) {
+    table.AddRow({FormatDouble(point.theta_c, 2),
+                  FormatDouble(point.cost.filter_ns, 0),
+                  FormatDouble(point.cost.validate_ns, 0),
+                  FormatDouble(point.cost.total_ns(), 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "model-chosen sweet spot: theta_C = "
+            << FormatDouble(tuned.best_theta_c, 2) << " (predicted "
+            << FormatDouble(tuned.best_cost.total_ns(), 0) << " ns/query)\n";
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Figure 3: cost model curves vs theta_C", args);
+
+  const RankingStore nyt = bench::MakeNyt(args, 10);
+  const RankingStore yago = bench::MakeYago(args, 10);
+  RunDataset("NYT-like", nyt, 0.2);
+  RunDataset("Yago-like", yago, 0.2);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 6: BK-tree vs the plain inverted index (F&V) on the NYT-like
+// dataset; same axes as Figure 5. The BK-tree runs in the paper-faithful
+// mode (see fig5_metric_trees.cc).
+//
+// Paper shape to reproduce: the inverted index outperforms the BK-tree —
+// the reason metric-only indexing is dismissed and the hybrid coarse
+// index exists. At laptop scale the gap is narrower than at the paper's
+// 1M-ranking scale (tree query cost grows faster with n than the
+// posting-list scans); EXPERIMENTS.md quantifies this.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/report.h"
+#include "invidx/filter_validate.h"
+#include "metric/bk_tree.h"
+
+namespace topk {
+namespace {
+
+constexpr BkTreeOptions kFaithful{/*reuse_duplicate_distances=*/false};
+
+void Sweep(const bench::BenchArgs& args) {
+  std::cout << "\n--- left: vary k (theta = 0.1) ---\n";
+  TextTable by_k({"k", "BK-tree_s", "F&V_s"});
+  for (uint32_t k : {5u, 10u, 15u, 20u, 25u}) {
+    const RankingStore store = bench::MakeNyt(args, k);
+    const auto queries = bench::MakeBenchWorkload(store, args);
+    const BkTree bk = BkTree::BuildAll(&store, nullptr, kFaithful);
+    const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+    FilterValidateEngine fv(&store, &index);
+    const RawDistance theta_raw = RawThreshold(0.1, k);
+
+    Stopwatch bk_watch;
+    for (const auto& query : queries) {
+      bk.RangeQuery(query.sorted_view(), theta_raw);
+    }
+    const double bk_s = bk_watch.ElapsedMillis() / 1000.0;
+    Stopwatch fv_watch;
+    for (const auto& query : queries) fv.Query(query, theta_raw);
+    const double fv_s = fv_watch.ElapsedMillis() / 1000.0;
+    by_k.AddRow({std::to_string(k), FormatDouble(bk_s, 3),
+                 FormatDouble(fv_s, 3)});
+  }
+  by_k.Print(std::cout);
+
+  std::cout << "\n--- right: vary theta (k = 10) ---\n";
+  TextTable by_theta({"theta", "BK-tree_s", "F&V_s"});
+  const RankingStore store = bench::MakeNyt(args, 10);
+  const auto queries = bench::MakeBenchWorkload(store, args);
+  const BkTree bk = BkTree::BuildAll(&store, nullptr, kFaithful);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  FilterValidateEngine fv(&store, &index);
+  for (double theta : {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}) {
+    const RawDistance theta_raw = RawThreshold(theta, 10);
+    Stopwatch bk_watch;
+    for (const auto& query : queries) {
+      bk.RangeQuery(query.sorted_view(), theta_raw);
+    }
+    const double bk_s = bk_watch.ElapsedMillis() / 1000.0;
+    Stopwatch fv_watch;
+    for (const auto& query : queries) fv.Query(query, theta_raw);
+    const double fv_s = fv_watch.ElapsedMillis() / 1000.0;
+    by_theta.AddRow({FormatDouble(theta, 2), FormatDouble(bk_s, 3),
+                     FormatDouble(fv_s, 3)});
+  }
+  by_theta.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  if (!args.full && args.queries > 200) args.queries = 200;
+  bench::PrintHeader("Figure 6: BK-tree vs inverted index (NYT-like)", args);
+  Sweep(args);
+  return 0;
+}

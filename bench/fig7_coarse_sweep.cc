@@ -1,0 +1,92 @@
+// Figure 7: measured filter / validate / overall time of the coarse index
+// (F&V medoid retrieval) against theta_C, for k = 10, theta = 0.2, both
+// datasets — plus the "small rectangle": the measured time at the
+// model-chosen theta_C.
+//
+// Paper shape to reproduce: filtering time falls with theta_C, validation
+// time rises, the sum bottoms out at a sweet spot, and the model's pick
+// lands near the measured optimum.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "coarse/coarse_index.h"
+#include "costmodel/cost_model.h"
+#include "data/dataset_stats.h"
+#include "harness/report.h"
+
+namespace topk {
+namespace {
+
+struct SweepPoint {
+  double theta_c;
+  PhaseTimes phases;
+};
+
+PhaseTimes MeasureCoarse(const RankingStore& store,
+                         const std::vector<PreparedQuery>& queries,
+                         double theta_c, double theta) {
+  CoarseOptions options;
+  options.theta_c = theta_c;
+  const CoarseIndex index = CoarseIndex::Build(&store, options);
+  const RawDistance theta_raw = RawThreshold(theta, store.k());
+  PhaseTimes phases;
+  for (const PreparedQuery& query : queries) {
+    index.Query(query, theta_raw, nullptr, &phases);
+  }
+  return phases;
+}
+
+void RunDataset(const char* name, const RankingStore& store,
+                const bench::BenchArgs& args, double theta) {
+  const auto queries = bench::MakeBenchWorkload(store, args);
+  std::cout << "\n--- " << name << " (k=10, theta=" << theta << ") ---\n";
+
+  std::vector<SweepPoint> sweep;
+  TextTable table({"theta_C", "filter_ms", "validate_ms", "overall_ms"});
+  for (double theta_c = 0.05; theta_c <= 0.80001; theta_c += 0.05) {
+    const PhaseTimes phases = MeasureCoarse(store, queries, theta_c, theta);
+    sweep.push_back(SweepPoint{theta_c, phases});
+    table.AddRow({FormatDouble(theta_c, 2), FormatDouble(phases.filter_ms, 2),
+                  FormatDouble(phases.validate_ms, 2),
+                  FormatDouble(phases.total_ms(), 2)});
+  }
+  table.Print(std::cout);
+
+  // Measured optimum across the sweep.
+  const SweepPoint* best = &sweep.front();
+  for (const SweepPoint& point : sweep) {
+    if (point.phases.total_ms() < best->phases.total_ms()) best = &point;
+  }
+
+  // Model-chosen theta_C (the "small rectangle" in the paper's plots).
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 256);
+  const CoarseCostModel model(inputs);
+  const auto tuned = model.Tune(theta, MakeGrid(0.05, 0.8, 0.05));
+  const PhaseTimes at_model =
+      MeasureCoarse(store, queries, tuned.best_theta_c, theta);
+
+  std::cout << "measured optimum: theta_C = "
+            << FormatDouble(best->theta_c, 2) << " at "
+            << FormatDouble(best->phases.total_ms(), 2) << " ms\n"
+            << "model-chosen:     theta_C = "
+            << FormatDouble(tuned.best_theta_c, 2) << " at "
+            << FormatDouble(at_model.total_ms(), 2) << " ms (difference "
+            << FormatDouble(at_model.total_ms() - best->phases.total_ms(), 2)
+            << " ms over " << args.queries << " queries)\n";
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Figure 7: coarse index phase times vs theta_C (+ model pick)", args);
+  const RankingStore nyt = bench::MakeNyt(args, 10);
+  const RankingStore yago = bench::MakeYago(args, 10);
+  RunDataset("NYT-like", nyt, args, 0.2);
+  RunDataset("Yago-like", yago, args, 0.2);
+  return 0;
+}

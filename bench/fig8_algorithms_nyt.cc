@@ -1,0 +1,20 @@
+// Figure 8: all-algorithm comparison on the NYT-like dataset, k in
+// {10, 20}, theta in {0, 0.1, 0.2, 0.3}; Coarse at theta_C = 0.5,
+// Coarse+Drop at theta_C = 0.06 (the paper's settings).
+//
+// Paper shape to reproduce: Coarse+Drop wins by a wide margin over
+// AdaptSearch; Coarse beats Minimal F&V at larger theta thanks to fewer
+// Footrule calls; the threshold-agnostic baselines (F&V, ListMerge) are
+// flat and slow; everything else degrades as theta grows.
+
+#include "algo_comparison.h"
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Figure 8: algorithm comparison (NYT-like)", args);
+  const RankingStore store10 = bench::MakeNyt(args, 10);
+  const RankingStore store20 = bench::MakeNyt(args, 20);
+  bench::RunAlgorithmComparison(args, store10, store20);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 9: all-algorithm comparison on the Yago-like dataset, k in
+// {10, 20}, theta in {0, 0.1, 0.2, 0.3}; coarse settings as in Figure 8.
+//
+// Paper shape to reproduce: with near-uniform items nothing touches the
+// Minimal F&V oracle; ListMerge is surprisingly strong on the small
+// collection; Blocked+Prune suffers; Coarse+Drop still beats AdaptSearch.
+
+#include "algo_comparison.h"
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Figure 9: algorithm comparison (Yago-like)", args);
+  const RankingStore store10 = bench::MakeYago(args, 10);
+  const RankingStore store20 = bench::MakeYago(args, 20);
+  bench::RunAlgorithmComparison(args, store10, store20);
+  return 0;
+}

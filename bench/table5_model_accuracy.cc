@@ -1,0 +1,81 @@
+// Table 5: the cost the auto-tuner leaves on the table — difference in ms
+// (per workload) between the coarse index's best measured time across the
+// theta_C sweep and its measured time at the model-chosen theta_C; k = 10,
+// theta in {0.1, 0.2, 0.3}, both datasets.
+//
+// Paper shape to reproduce: differences are small (a few ms to a few tens
+// of ms per 1000 queries) — the model lands near the sweet spot.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "coarse/coarse_index.h"
+#include "costmodel/cost_model.h"
+#include "data/dataset_stats.h"
+#include "harness/report.h"
+
+namespace topk {
+namespace {
+
+double MeasureCoarseTotal(const RankingStore& store,
+                          const std::vector<PreparedQuery>& queries,
+                          double theta_c, double theta) {
+  CoarseOptions options;
+  options.theta_c = theta_c;
+  const CoarseIndex index = CoarseIndex::Build(&store, options);
+  const RawDistance theta_raw = RawThreshold(theta, store.k());
+  PhaseTimes phases;
+  for (const PreparedQuery& query : queries) {
+    index.Query(query, theta_raw, nullptr, &phases);
+  }
+  return phases.total_ms();
+}
+
+void RunDataset(const char* name, const RankingStore& store,
+                const bench::BenchArgs& args, TextTable* table) {
+  const auto queries = bench::MakeBenchWorkload(store, args);
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 256);
+  const CoarseCostModel model(inputs);
+  const auto grid = MakeGrid(0.05, 0.8, 0.05);
+
+  std::vector<std::string> row = {name};
+  for (double theta : {0.1, 0.2, 0.3}) {
+    double best_ms = 0;
+    bool first = true;
+    double best_theta_c = 0;
+    for (double theta_c : grid) {
+      const double ms = MeasureCoarseTotal(store, queries, theta_c, theta);
+      if (first || ms < best_ms) {
+        best_ms = ms;
+        best_theta_c = theta_c;
+        first = false;
+      }
+    }
+    const auto tuned = model.Tune(theta, grid);
+    const double model_ms =
+        MeasureCoarseTotal(store, queries, tuned.best_theta_c, theta);
+    row.push_back(FormatDouble(model_ms - best_ms, 2) + " (best@" +
+                  FormatDouble(best_theta_c, 2) + ", model@" +
+                  FormatDouble(tuned.best_theta_c, 2) + ")");
+  }
+  table->AddRow(row);
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Table 5: ms gap between measured-best and model-chosen theta_C",
+      args);
+  TextTable table({"dataset", "theta=0.1", "theta=0.2", "theta=0.3"});
+  const RankingStore nyt = bench::MakeNyt(args, 10);
+  const RankingStore yago = bench::MakeYago(args, 10);
+  RunDataset("NYT-like", nyt, args, &table);
+  RunDataset("Yago-like", yago, args, &table);
+  std::cout << "\n";
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Automatic theta_C tuning with the Section 5 cost model: measure the
+// dataset's distributional inputs, calibrate unit costs, sweep the model,
+// build the index at the predicted sweet spot — then verify against a
+// hand-tuned sweep.
+//
+//   build/examples/auto_tuning
+
+#include <iostream>
+
+#include "topk.h"
+
+int main() {
+  using namespace topk;
+
+  std::cout << "generating dataset...\n";
+  const RankingStore store = Generate(NytLikeOptions(20000, 10, 5));
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 200;
+  wopts.seed = 11;
+  const auto queries = MakeWorkload(store, wopts);
+  const double theta = 0.2;
+  const RawDistance theta_raw = RawThreshold(theta, store.k());
+
+  // 1. Measure model inputs: Zipf skew, distance profile, unit costs.
+  std::cout << "measuring cost-model inputs...\n";
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 192);
+  std::cout << "  n = " << inputs.n << ", distinct items v = " << inputs.v
+            << ", fitted zipf s = " << FormatDouble(inputs.zipf_s, 3)
+            << "\n  footrule = " << FormatDouble(inputs.calib.footrule_ns, 1)
+            << " ns/call, merge = "
+            << FormatDouble(inputs.calib.merge_ns_per_entry, 2)
+            << " ns/entry\n";
+
+  // 2. Ask the model for the sweet spot.
+  const CoarseCostModel model(inputs);
+  const auto tuned = model.Tune(theta, MakeGrid(0.05, 0.75, 0.05));
+  std::cout << "model-chosen theta_C = "
+            << FormatDouble(tuned.best_theta_c, 2) << "\n\n";
+
+  // 3. Compare against an actual sweep (what manual tuning would do).
+  auto measure = [&](double theta_c) {
+    CoarseOptions options;
+    options.theta_c = theta_c;
+    const CoarseIndex index = CoarseIndex::Build(&store, options);
+    PhaseTimes phases;
+    for (const PreparedQuery& query : queries) {
+      index.Query(query, theta_raw, nullptr, &phases);
+    }
+    return phases.total_ms();
+  };
+
+  TextTable table({"theta_C", "measured_ms", "model_ns_per_query"});
+  double best_ms = 0;
+  double best_theta_c = 0;
+  bool first = true;
+  for (const auto& point : tuned.series) {
+    const double ms = measure(point.theta_c);
+    table.AddRow({FormatDouble(point.theta_c, 2), FormatDouble(ms, 2),
+                  FormatDouble(point.cost.total_ns(), 0)});
+    if (first || ms < best_ms) {
+      best_ms = ms;
+      best_theta_c = point.theta_c;
+      first = false;
+    }
+  }
+  table.Print(std::cout);
+
+  const double model_ms = measure(tuned.best_theta_c);
+  std::cout << "\nmeasured optimum:  theta_C = "
+            << FormatDouble(best_theta_c, 2) << " (" << FormatDouble(best_ms, 2)
+            << " ms)\nmodel's pick costs " << FormatDouble(model_ms, 2)
+            << " ms — " << FormatDouble(model_ms - best_ms, 2)
+            << " ms off the hand-tuned optimum over " << queries.size()
+            << " queries\n";
+  return 0;
+}

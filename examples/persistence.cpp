@@ -1,0 +1,77 @@
+// Persistence workflow: generate a collection once, save the dataset and
+// its (expensive) partitioning to disk, then serve queries from a cold
+// start by loading both and rebuilding the cheap structures.
+//
+//   build/examples/persistence [directory]
+
+#include <iostream>
+#include <string>
+
+#include "topk.h"
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  const std::string dir = argc > 1 ? argv[1] : "/tmp";
+  const std::string store_path = dir + "/example_rankings.topk";
+  const std::string parts_path = dir + "/example_partitioning.topk";
+
+  // --- First run: build everything and persist the expensive parts. ---
+  {
+    std::cout << "building collection + partitioning...\n";
+    const RankingStore store = Generate(NytLikeOptions(15000, 10, 77));
+    Stopwatch partition_watch;
+    const Partitioning partitioning = BkPartition(
+        store, RawThreshold(0.4, store.k()), BkPartitionMode::kStrict);
+    std::cout << "  partitioned " << store.size() << " rankings into "
+              << partitioning.partitions.size() << " partitions in "
+              << FormatDouble(partition_watch.ElapsedMillis(), 1) << " ms\n";
+
+    if (Status s = SaveRankingStore(store, store_path); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+    if (Status s = SavePartitioning(partitioning, parts_path); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  saved dataset to " << store_path
+              << "\n  saved partitioning to " << parts_path << "\n\n";
+  }
+
+  // --- Cold start: load, rebuild the cheap structures, serve. ---
+  std::cout << "cold start: loading...\n";
+  Stopwatch load_watch;
+  auto store = LoadRankingStore(store_path);
+  if (!store.ok()) {
+    std::cerr << store.status().ToString() << "\n";
+    return 1;
+  }
+  auto partitioning = LoadPartitioning(parts_path);
+  if (!partitioning.ok()) {
+    std::cerr << partitioning.status().ToString() << "\n";
+    return 1;
+  }
+  CoarseOptions options;
+  options.theta_c = 0.4;
+  const CoarseIndex index = CoarseIndex::BuildFromPartitioning(
+      &store.value(), options, std::move(partitioning).ValueOrDie());
+  std::cout << "  ready in " << FormatDouble(load_watch.ElapsedMillis(), 1)
+            << " ms (" << index.num_partitions() << " partitions)\n\n";
+
+  // Serve a few queries.
+  WorkloadOptions wopts;
+  wopts.num_queries = 3;
+  wopts.seed = 3;
+  const auto queries = MakeWorkload(store.value(), wopts);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Statistics stats;
+    const auto results =
+        index.Query(queries[i], RawThreshold(0.2, 10), &stats);
+    std::cout << "query #" << i << ": " << results.size() << " results, "
+              << stats.Get(Ticker::kDistanceCalls) << " distance calls\n";
+  }
+
+  std::remove(store_path.c_str());
+  std::remove(parts_path.c_str());
+  return 0;
+}

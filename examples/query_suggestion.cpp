@@ -1,0 +1,64 @@
+// Query suggestion over a search-engine query log — the paper's
+// introductory motivation: "finding historic queries by their result lists
+// with respect to the currently issued query".
+//
+// We synthesize a query log's result rankings (NYT-like: skewed item
+// popularity, popular queries re-issued many times), index them with the
+// coarse index, and for a fresh query's result list retrieve all historic
+// queries whose results are similar enough to suggest.
+//
+//   build/examples/query_suggestion
+
+#include <iostream>
+
+#include "topk.h"
+
+int main() {
+  using namespace topk;
+
+  // 1. The query log: 30k historic top-10 result rankings.
+  std::cout << "generating historic query-result rankings...\n";
+  const RankingStore log = Generate(NytLikeOptions(30000, 10, 42));
+
+  // 2. Index once; serve ad-hoc similarity queries afterwards.
+  CoarseOptions options;
+  options.theta_c = 0.5;
+  options.drop = DropMode::kPositionRefined;  // Coarse+Drop
+  Stopwatch build_watch;
+  const CoarseIndex index = CoarseIndex::Build(&log, options);
+  std::cout << "coarse index: " << index.num_partitions()
+            << " partitions over " << log.size() << " rankings, built in "
+            << FormatDouble(build_watch.ElapsedMillis() / 1000.0, 2)
+            << " s, " << FormatMegabytes(index.MemoryUsage()) << " MB\n\n";
+
+  // 3. A "currently issued" query: the live engine returned this top-10
+  //    list (here: a perturbed copy of some historic ranking).
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  wopts.perturbed_fraction = 1.0;
+  wopts.seed = 7;
+  const auto current = MakeWorkload(log, wopts);
+
+  const double theta = 0.2;  // how similar counts as "related"
+  for (size_t i = 0; i < current.size(); ++i) {
+    Statistics stats;
+    Stopwatch watch;
+    const auto similar =
+        index.Query(current[i], RawThreshold(theta, log.k()), &stats);
+    std::cout << "query #" << i << ": " << similar.size()
+              << " historic queries with result-list distance <= " << theta
+              << " (" << FormatDouble(watch.ElapsedMillis(), 3) << " ms, "
+              << stats.Get(Ticker::kDistanceCalls) << " distance calls, "
+              << stats.Get(Ticker::kPartitionsProbed)
+              << " partitions probed)\n";
+    // A real system would now surface the queries behind the top matches.
+    for (size_t j = 0; j < similar.size() && j < 3; ++j) {
+      const RawDistance d = FootruleDistance(current[i].sorted_view(),
+                                             log.sorted(similar[j]));
+      std::cout << "    suggestion " << j << ": historic ranking "
+                << similar[j] << " at distance "
+                << FormatDouble(NormalizeDistance(d, log.k()), 3) << "\n";
+    }
+  }
+  return 0;
+}

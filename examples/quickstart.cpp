@@ -1,0 +1,64 @@
+// Quickstart: index a handful of top-k rankings and answer a similarity
+// query with the coarse index.
+//
+//   build/examples/quickstart
+
+#include <iostream>
+
+#include "topk.h"
+
+int main() {
+  using namespace topk;
+
+  // A collection of top-5 rankings (items are ids; position 0 is the top).
+  RankingStore store(/*k=*/5);
+  store.AddUnchecked(std::vector<ItemId>{1, 2, 3, 4, 5});   // tau0
+  store.AddUnchecked(std::vector<ItemId>{1, 2, 9, 8, 3});   // tau1
+  store.AddUnchecked(std::vector<ItemId>{9, 8, 1, 2, 4});   // tau2
+  store.AddUnchecked(std::vector<ItemId>{7, 1, 9, 4, 5});   // tau3
+  store.AddUnchecked(std::vector<ItemId>{6, 1, 5, 2, 3});   // tau4
+  store.AddUnchecked(std::vector<ItemId>{4, 5, 1, 2, 3});   // tau5
+  store.AddUnchecked(std::vector<ItemId>{1, 6, 2, 3, 7});   // tau6
+  store.AddUnchecked(std::vector<ItemId>{7, 1, 6, 5, 2});   // tau7
+  store.AddUnchecked(std::vector<ItemId>{2, 5, 9, 8, 1});   // tau8
+  store.AddUnchecked(std::vector<ItemId>{6, 3, 2, 1, 4});   // tau9
+
+  // Build the coarse index: partitions of radius <= theta_C around medoid
+  // rankings, medoids in an inverted index, partitions as BK-trees.
+  CoarseOptions options;
+  options.theta_c = 0.3;
+  const CoarseIndex index = CoarseIndex::Build(&store, options);
+  std::cout << "indexed " << store.size() << " rankings in "
+            << index.num_partitions() << " partitions\n";
+
+  // Ad-hoc query: ranking and threshold arrive at query time.
+  auto ranking = Ranking::Create({1, 2, 3, 4, 6});
+  if (!ranking.ok()) {
+    std::cerr << ranking.status().ToString() << "\n";
+    return 1;
+  }
+  const PreparedQuery query(std::move(ranking).ValueOrDie());
+
+  for (double theta : {0.1, 0.2, 0.4}) {
+    Statistics stats;
+    const auto results =
+        index.Query(query, RawThreshold(theta, store.k()), &stats);
+    std::cout << "theta = " << theta << ": " << results.size()
+              << " result(s) [";
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::cout << (i > 0 ? ", " : "") << "tau" << results[i];
+    }
+    std::cout << "] with " << stats.Get(Ticker::kDistanceCalls)
+              << " distance calls\n";
+  }
+
+  // Exact distances for context.
+  std::cout << "\nexact normalized distances to the query:\n";
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const RawDistance d =
+        FootruleDistance(query.sorted_view(), store.sorted(id));
+    std::cout << "  tau" << id << ": " << NormalizeDistance(d, store.k())
+              << "\n";
+  }
+  return 0;
+}

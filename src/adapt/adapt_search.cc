@@ -1,0 +1,117 @@
+#include "adapt/adapt_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/footrule.h"
+
+namespace topk {
+
+namespace {
+
+/// P[Poisson(lambda) >= ell] * n — the expected number of records with at
+/// least ell prefix hits under the independence approximation.
+double EstimateCandidates(double n, double lambda, uint32_t ell) {
+  if (lambda <= 0) return 0;
+  double term = std::exp(-lambda);  // P[X = 0]
+  double below = 0;
+  for (uint32_t j = 0; j < ell; ++j) {
+    below += term;
+    term *= lambda / static_cast<double>(j + 1);
+  }
+  return n * std::max(0.0, 1.0 - below);
+}
+
+}  // namespace
+
+AdaptSearchEngine::AdaptSearchEngine(const RankingStore* store,
+                                     const DeltaInvertedIndex* index,
+                                     AdaptSearchOptions options)
+    : store_(store), index_(index), options_(options) {
+  counters_.resize(index_->num_indexed());
+}
+
+uint32_t AdaptSearchEngine::ChooseEll(const PreparedQuery& query,
+                                      RawDistance theta_raw) const {
+  const uint32_t k = query.k();
+  const uint32_t c = MinOverlap(k, theta_raw);
+  if (c <= 1) return 1;
+  const std::vector<ItemId> sorted = index_->SortByGlobalOrder(query.view());
+  const double n = static_cast<double>(index_->num_indexed());
+
+  uint32_t best_ell = 1;
+  double best_cost = 0;
+  for (uint32_t ell = 1; ell <= c; ++ell) {
+    const uint32_t prefix_len = k - c + ell;
+    double scanned = 0;
+    for (uint32_t t = 0; t < prefix_len; ++t) {
+      scanned += static_cast<double>(
+          index_->Prefix(sorted[t], prefix_len).size());
+    }
+    const double candidates =
+        EstimateCandidates(n, scanned / std::max(1.0, n), ell);
+    const double cost =
+        scanned + candidates * options_.validate_cost_ratio;
+    if (ell == 1 || cost < best_cost) {
+      best_cost = cost;
+      best_ell = ell;
+    }
+  }
+  return best_ell;
+}
+
+std::vector<RankingId> AdaptSearchEngine::Query(const PreparedQuery& query,
+                                                RawDistance theta_raw,
+                                                Statistics* stats) {
+  const uint32_t k = query.k();
+  ++epoch_;
+  if (epoch_ == 0) {
+    for (auto& counter : counters_) counter.epoch = 0;
+    epoch_ = 1;
+  }
+  touched_.clear();
+
+  const uint32_t c = MinOverlap(k, theta_raw);
+  const std::vector<ItemId> sorted = index_->SortByGlobalOrder(query.view());
+
+  // c == 0 would mean disjoint records can qualify; like every inverted
+  // index method this requires theta < dmax. c >= 1 always scans at least
+  // the full-length prefix with a count-1 filter, which degenerates to
+  // plain filter-and-validate.
+  const uint32_t ell = c == 0 ? 1 : ChooseEll(query, theta_raw);
+  const uint32_t prefix_len = c == 0 ? k : k - c + ell;
+  const uint32_t required = c == 0 ? 1 : ell;
+
+  for (uint32_t t = 0; t < prefix_len; ++t) {
+    const auto entries = index_->Prefix(sorted[t], prefix_len);
+    AddTicker(stats, Ticker::kPostingEntriesScanned, entries.size());
+    for (const AugmentedEntry& entry : entries) {
+      Counter& counter = counters_[entry.id];
+      if (counter.epoch != epoch_) {
+        counter.epoch = epoch_;
+        counter.count = 0;
+        touched_.push_back(entry.id);
+      }
+      ++counter.count;
+    }
+  }
+
+  std::vector<RankingId> results;
+  const SortedRankingView q = query.sorted_view();
+  size_t candidates = 0;
+  for (RankingId id : touched_) {
+    if (counters_[id].count < required) continue;
+    ++candidates;
+    AddTicker(stats, Ticker::kDistanceCalls);
+    if (FootruleDistance(q, store_->sorted(id)) <= theta_raw) {
+      results.push_back(id);
+    }
+  }
+  AddTicker(stats, Ticker::kCandidates, candidates);
+  std::sort(results.begin(), results.end());
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+}  // namespace topk

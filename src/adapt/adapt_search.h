@@ -1,0 +1,67 @@
+// AdaptSearch: ad-hoc set-similarity search with a variable-length prefix
+// scheme (Wang, Li, Feng; SIGMOD 2012), adapted to Footrule range queries
+// exactly as the paper's Section 7 describes: the required overlap c comes
+// from the Section 6 bound, and candidates are validated with Footrule.
+//
+// Prefix-filter principle for equal-size records: if |q ∩ r| >= c, then
+// the (k - c + ell)-prefixes of q and r under the global order share at
+// least ell items, for any ell in [1, c]. Larger ell means longer prefix
+// lists to scan but a stronger filter (count >= ell) and fewer candidates
+// to validate. AdaptSearch picks ell per query with a cost model:
+//
+//   cost(ell) = scanned_entries(ell) * c_scan
+//             + estimated_candidates(ell) * c_validate
+//
+// scanned_entries is exact (list-prefix lengths are in the directory);
+// the candidate count is estimated from a Poisson model of per-record hit
+// counts (lambda = scanned/n), a cheap stand-in for AdaptJoin's sampling
+// estimator — the substitution is documented in DESIGN.md.
+
+#ifndef TOPK_ADAPT_ADAPT_SEARCH_H_
+#define TOPK_ADAPT_ADAPT_SEARCH_H_
+
+#include <vector>
+
+#include "adapt/delta_inverted_index.h"
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+
+namespace topk {
+
+struct AdaptSearchOptions {
+  /// Relative cost of one Footrule validation vs. scanning one posting
+  /// entry, for the ell-selection model.
+  double validate_cost_ratio = 8.0;
+};
+
+class AdaptSearchEngine {
+ public:
+  AdaptSearchEngine(const RankingStore* store,
+                    const DeltaInvertedIndex* index,
+                    AdaptSearchOptions options = {});
+
+  std::vector<RankingId> Query(const PreparedQuery& query,
+                               RawDistance theta_raw,
+                               Statistics* stats = nullptr);
+
+  /// The prefix-extension length the cost model would pick (test hook).
+  uint32_t ChooseEll(const PreparedQuery& query, RawDistance theta_raw) const;
+
+ private:
+  struct Counter {
+    uint32_t epoch = 0;
+    uint32_t count = 0;
+  };
+
+  const RankingStore* store_;
+  const DeltaInvertedIndex* index_;
+  AdaptSearchOptions options_;
+  std::vector<Counter> counters_;
+  std::vector<RankingId> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_ADAPT_ADAPT_SEARCH_H_

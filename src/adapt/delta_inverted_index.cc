@@ -1,0 +1,82 @@
+#include "adapt/delta_inverted_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/dataset_stats.h"
+
+namespace topk {
+
+DeltaInvertedIndex DeltaInvertedIndex::Build(const RankingStore& store) {
+  DeltaInvertedIndex index;
+  index.k_ = store.k();
+  index.num_indexed_ = store.size();
+  const size_t num_items = static_cast<size_t>(store.max_item()) + 1;
+
+  // Global order: ascending frequency, ties by item id. order_[item] is
+  // the item's position in that order.
+  const std::vector<uint64_t> freqs = ItemFrequencies(store);
+  std::vector<ItemId> by_freq(num_items);
+  std::iota(by_freq.begin(), by_freq.end(), 0);
+  std::stable_sort(by_freq.begin(), by_freq.end(),
+                   [&freqs](ItemId a, ItemId b) { return freqs[a] < freqs[b]; });
+  index.order_.resize(num_items);
+  for (size_t pos = 0; pos < by_freq.size(); ++pos) {
+    index.order_[by_freq[pos]] = pos;
+  }
+
+  // Entries keyed by (item, sorted position within record).
+  index.lists_.resize(num_items);
+  std::vector<ItemId> sorted_record;
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const RankingView v = store.view(id);
+    sorted_record.assign(v.items().begin(), v.items().end());
+    std::sort(sorted_record.begin(), sorted_record.end(),
+              [&index](ItemId a, ItemId b) {
+                return index.order_[a] < index.order_[b];
+              });
+    for (uint32_t pos = 0; pos < sorted_record.size(); ++pos) {
+      index.lists_[sorted_record[pos]].push_back(
+          AugmentedEntry{id, pos});
+    }
+  }
+
+  // Position-major layout with a directory, as in the blocked index.
+  index.offsets_.assign(num_items * (index.k_ + 1), 0);
+  for (size_t item = 0; item < num_items; ++item) {
+    auto& list = index.lists_[item];
+    std::stable_sort(list.begin(), list.end(),
+                     [](const AugmentedEntry& a, const AugmentedEntry& b) {
+                       return a.rank < b.rank;
+                     });
+    uint32_t* off = &index.offsets_[item * (index.k_ + 1)];
+    size_t pos = 0;
+    for (uint32_t j = 0; j < index.k_; ++j) {
+      off[j] = static_cast<uint32_t>(pos);
+      while (pos < list.size() && list[pos].rank == j) ++pos;
+    }
+    off[index.k_] = static_cast<uint32_t>(list.size());
+  }
+  return index;
+}
+
+std::vector<ItemId> DeltaInvertedIndex::SortByGlobalOrder(
+    RankingView query) const {
+  std::vector<ItemId> sorted(query.items().begin(), query.items().end());
+  std::sort(sorted.begin(), sorted.end(), [this](ItemId a, ItemId b) {
+    return OrderOf(a) < OrderOf(b);
+  });
+  return sorted;
+}
+
+size_t DeltaInvertedIndex::MemoryUsage() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<AugmentedEntry>) +
+                 offsets_.capacity() * sizeof(uint32_t) +
+                 order_.capacity() * sizeof(uint64_t);
+  for (const auto& list : lists_) {
+    bytes += list.capacity() * sizeof(AugmentedEntry);
+  }
+  return bytes;
+}
+
+}  // namespace topk

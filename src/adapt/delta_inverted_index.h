@@ -1,0 +1,67 @@
+// Delta inverted index for prefix filtering, after Wang, Li, Feng's
+// AdaptJoin/AdaptSearch (SIGMOD 2012) — the competitor of Section 7.
+//
+// A global total order over items (ascending frequency, rare items first —
+// the standard prefix-filtering order) sorts each record's items; the
+// index stores, for every item, the records containing it *at each sorted
+// position*. Entries are grouped by position with a block directory, so
+// the index lists for prefix length p are exactly the first offsets[p]
+// entries of each list — extending a prefix from length p to p+1 touches
+// only the "delta" block, which is what gives the index its name.
+
+#ifndef TOPK_ADAPT_DELTA_INVERTED_INDEX_H_
+#define TOPK_ADAPT_DELTA_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/types.h"
+#include "invidx/augmented_inverted_index.h"
+
+namespace topk {
+
+class DeltaInvertedIndex {
+ public:
+  static DeltaInvertedIndex Build(const RankingStore& store);
+
+  /// Entries whose record holds `item` within its first `prefix_len`
+  /// sorted positions (the ".rank" field is the sorted position).
+  std::span<const AugmentedEntry> Prefix(ItemId item,
+                                         uint32_t prefix_len) const {
+    if (item >= lists_.size()) return {};
+    const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+    const uint32_t end = off[prefix_len > k_ ? k_ : prefix_len];
+    return std::span<const AugmentedEntry>(lists_[item]).first(end);
+  }
+
+  std::span<const AugmentedEntry> list(ItemId item) const {
+    if (item >= lists_.size()) return {};
+    return lists_[item];
+  }
+
+  /// Global-order position of an item (lower = rarer = earlier in
+  /// prefixes); items unseen at build time order after all seen ones.
+  uint64_t OrderOf(ItemId item) const {
+    return item < order_.size() ? order_[item]
+                                : static_cast<uint64_t>(order_.size()) + item;
+  }
+
+  /// The query's items arranged by the global order.
+  std::vector<ItemId> SortByGlobalOrder(RankingView query) const;
+
+  uint32_t k() const { return k_; }
+  size_t num_indexed() const { return num_indexed_; }
+  size_t MemoryUsage() const;
+
+ private:
+  uint32_t k_ = 0;
+  size_t num_indexed_ = 0;
+  std::vector<uint64_t> order_;
+  std::vector<std::vector<AugmentedEntry>> lists_;
+  std::vector<uint32_t> offsets_;  // (#items) * (k+1) position directory
+};
+
+}  // namespace topk
+
+#endif  // TOPK_ADAPT_DELTA_INVERTED_INDEX_H_

@@ -1,0 +1,51 @@
+#include "cluster/cn_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/footrule.h"
+
+namespace topk {
+
+Partitioning CnPartition(const RankingStore& store, RawDistance theta_c_raw,
+                         Rng* rng, Statistics* stats) {
+  Partitioning out;
+  const size_t n = store.size();
+  if (n == 0) return out;
+
+  // Unassigned ids, consumed by swap-and-shrink so each round scans only
+  // what is still free.
+  std::vector<RankingId> free_ids(n);
+  std::iota(free_ids.begin(), free_ids.end(), 0);
+
+  while (!free_ids.empty()) {
+    // Random medoid among the unassigned.
+    const size_t pick = rng->Below(free_ids.size());
+    const RankingId medoid = free_ids[pick];
+    free_ids[pick] = free_ids.back();
+    free_ids.pop_back();
+
+    Partition partition;
+    partition.medoid = medoid;
+    partition.members.push_back(medoid);
+
+    const SortedRankingView mv = store.sorted(medoid);
+    size_t write = 0;
+    for (size_t read = 0; read < free_ids.size(); ++read) {
+      const RankingId candidate = free_ids[read];
+      AddTicker(stats, Ticker::kDistanceCalls);
+      const RawDistance d = FootruleDistance(mv, store.sorted(candidate));
+      if (d <= theta_c_raw) {
+        partition.members.push_back(candidate);
+        partition.radius = std::max(partition.radius, d);
+      } else {
+        free_ids[write++] = candidate;
+      }
+    }
+    free_ids.resize(write);
+    out.partitions.push_back(std::move(partition));
+  }
+  return out;
+}
+
+}  // namespace topk

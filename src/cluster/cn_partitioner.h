@@ -1,0 +1,29 @@
+// Chavez-Navarro random-medoid partitioning (Pattern Recognition Letters
+// 2005), the clustering model the paper's Section 5 cost analysis assumes.
+//
+// Medoids are drawn uniformly at random from the not-yet-assigned
+// rankings; each new medoid absorbs every still-unassigned ranking within
+// theta_C of it; the process repeats until nothing is left. Partition
+// radii are <= theta_C by construction, so Lemma 1 applies directly.
+//
+// Cost is O(M * n) distance computations for M medoids — quadratic-ish,
+// which is exactly why the paper uses the BK-tree extraction in practice;
+// this implementation exists to validate the cost model's medoid-count
+// estimate (Section 5) and as the ablation baseline.
+
+#ifndef TOPK_CLUSTER_CN_PARTITIONER_H_
+#define TOPK_CLUSTER_CN_PARTITIONER_H_
+
+#include "cluster/partitioner.h"
+#include "core/ranking.h"
+#include "core/rng.h"
+#include "core/statistics.h"
+
+namespace topk {
+
+Partitioning CnPartition(const RankingStore& store, RawDistance theta_c_raw,
+                         Rng* rng, Statistics* stats = nullptr);
+
+}  // namespace topk
+
+#endif  // TOPK_CLUSTER_CN_PARTITIONER_H_

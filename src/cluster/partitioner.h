@@ -1,0 +1,47 @@
+// Partitioning of a ranking collection into medoid-anchored groups
+// (Section 4.1 of the paper).
+//
+// A Partitioning assigns every ranking to exactly one Partition; the
+// partition's medoid represents its members in the coarse index's inverted
+// index, and the recorded radius upper-bounds every member's distance to
+// the medoid. The radius is what makes Lemma 1 queries exact: medoids are
+// retrieved with threshold theta + radius.
+
+#ifndef TOPK_CLUSTER_PARTITIONER_H_
+#define TOPK_CLUSTER_PARTITIONER_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.h"
+
+namespace topk {
+
+struct Partition {
+  RankingId medoid = kInvalidRankingId;
+  /// Members including the medoid itself.
+  std::vector<RankingId> members;
+  /// Upper bound on max distance from the medoid to any member. Strict
+  /// partitioners guarantee radius <= theta_C; the subtree partitioner may
+  /// exceed it (see bk_partitioner.h).
+  RawDistance radius = 0;
+};
+
+struct Partitioning {
+  std::vector<Partition> partitions;
+
+  size_t total_members() const {
+    size_t total = 0;
+    for (const Partition& p : partitions) total += p.members.size();
+    return total;
+  }
+  RawDistance max_radius() const {
+    RawDistance r = 0;
+    for (const Partition& p : partitions) r = std::max(r, p.radius);
+    return r;
+  }
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CLUSTER_PARTITIONER_H_

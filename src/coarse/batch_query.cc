@@ -1,0 +1,68 @@
+#include "coarse/batch_query.h"
+
+#include <algorithm>
+
+#include "cluster/cn_partitioner.h"
+#include "core/footrule.h"
+#include "core/rng.h"
+
+namespace topk {
+
+BatchQueryProcessor::BatchQueryProcessor(const RankingStore* store,
+                                         const CoarseIndex* index,
+                                         BatchQueryOptions options)
+    : store_(store), index_(index), options_(options) {}
+
+std::vector<std::vector<RankingId>> BatchQueryProcessor::QueryBatch(
+    std::span<const PreparedQuery> queries, RawDistance theta_raw,
+    Statistics* stats) {
+  std::vector<std::vector<RankingId>> results(queries.size());
+  if (queries.empty()) return results;
+  const uint32_t k = store_->k();
+
+  // Cluster the batch itself: load the query rankings into a scratch
+  // store and run the fixed-radius random-medoid partitioner over it.
+  RankingStore batch_store(k);
+  for (const PreparedQuery& query : queries) {
+    batch_store.AddUnchecked(query.view().items());
+  }
+  Rng rng(options_.seed);
+  const RawDistance batch_radius = RawThreshold(options_.batch_theta_c, k);
+  const Partitioning clusters = CnPartition(batch_store, batch_radius, &rng);
+
+  for (const Partition& cluster : clusters.partitions) {
+    const PreparedQuery& medoid_query = queries[cluster.medoid];
+    if (cluster.members.size() == 1) {
+      results[cluster.medoid] =
+          index_->Query(medoid_query, theta_raw, stats);
+      continue;
+    }
+
+    // One relaxed probe covers the whole cluster (triangle inequality).
+    const std::vector<RankingId> shared = index_->Query(
+        medoid_query, theta_raw + cluster.radius, stats);
+
+    for (RankingId member : cluster.members) {
+      const PreparedQuery& query = queries[member];
+      std::vector<RankingId>& out = results[member];
+      if (member == cluster.medoid) {
+        // The medoid's own results only need the threshold re-applied —
+        // the probe already computed every candidate's exact distance, so
+        // re-validating against the store is still one Footrule each.
+        out.reserve(shared.size());
+      }
+      const SortedRankingView qs = query.sorted_view();
+      for (RankingId candidate : shared) {
+        AddTicker(stats, Ticker::kDistanceCalls);
+        if (FootruleDistance(qs, store_->sorted(candidate)) <= theta_raw) {
+          out.push_back(candidate);
+        }
+      }
+      std::sort(out.begin(), out.end());
+      AddTicker(stats, Ticker::kResults, out.size());
+    }
+  }
+  return results;
+}
+
+}  // namespace topk

@@ -1,0 +1,48 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "core/status.h"
+
+namespace topk {
+
+RawDistance MinDistanceForOverlap(uint32_t k, uint32_t overlap) {
+  TOPK_DCHECK(overlap <= k);
+  const RawDistance m = k - overlap;
+  return m * (m + 1);
+}
+
+uint32_t MinOverlap(uint32_t k, RawDistance theta_raw) {
+  // Largest m with m*(m+1) <= theta_raw; then w = k - m (clamped at 0).
+  // m is at most k (theta never exceeds k*(k+1)), so a loop is instant and
+  // avoids floating-point edge cases entirely.
+  uint32_t m = 0;
+  while (m < k && static_cast<RawDistance>(m + 1) * (m + 2) <= theta_raw) {
+    ++m;
+  }
+  if (static_cast<RawDistance>(m) * (m + 1) > theta_raw) return k;  // m == 0
+  return k - m;
+}
+
+uint32_t MinOverlapPaperFormula(uint32_t k, RawDistance theta_raw) {
+  const double root = std::sqrt(1.0 + 4.0 * static_cast<double>(theta_raw));
+  const double w = 0.5 * (1.0 + 2.0 * static_cast<double>(k) - root);
+  if (w <= 0.0) return 0;
+  const auto floored = static_cast<uint32_t>(w);
+  return floored > k ? k : floored;
+}
+
+uint32_t SufficientLists(uint32_t k, RawDistance theta_raw) {
+  const uint32_t w = MinOverlap(k, theta_raw);
+  if (w == 0) return k;  // even disjoint rankings can qualify: read all
+  const uint32_t lists = k - w + 1;
+  return lists < 1 ? 1 : lists;
+}
+
+RawDistance AbsentSuffixCost(uint32_t k, uint32_t from_pos) {
+  TOPK_DCHECK(from_pos <= k);
+  const RawDistance m = k - from_pos;
+  return m * (m + 1) / 2;
+}
+
+}  // namespace topk

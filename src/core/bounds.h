@@ -1,0 +1,49 @@
+// Distance bounds driving the paper's inverted-index optimizations.
+//
+// Section 6.1: with an overlap of w items between a query and a ranking,
+// the smallest possible Footrule distance is achieved when the w common
+// items coincide in the top-w positions of both lists, leaving the k-w
+// remaining items of each side to pay their absence cost. That minimum is
+// L(k, w) = (k-w)*(k-w+1). Inverting it yields the smallest overlap any
+// result can have, which in turn bounds how many posting lists a query
+// must touch (the +Drop family of algorithms).
+
+#ifndef TOPK_CORE_BOUNDS_H_
+#define TOPK_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace topk {
+
+/// L(k, w): minimum possible raw Footrule distance between two size-k
+/// rankings sharing exactly `overlap` items. L(k, k) = 0, L(k, 0) = k(k+1).
+RawDistance MinDistanceForOverlap(uint32_t k, uint32_t overlap);
+
+/// Smallest overlap a ranking within raw distance `theta_raw` of the query
+/// can have: the minimum w with L(k, w) <= theta_raw. Computed exactly over
+/// the integers (the paper's closed form w = floor(0.5*(1+2k-sqrt(1+4t)))
+/// can undershoot by one when sqrt lands between integers; ours dominates
+/// it and is verified against brute force in the tests).
+uint32_t MinOverlap(uint32_t k, RawDistance theta_raw);
+
+/// The paper's closed-form overlap bound, kept for conformance testing.
+/// Guaranteed <= MinOverlap (i.e. never incorrect, possibly conservative).
+uint32_t MinOverlapPaperFormula(uint32_t k, RawDistance theta_raw);
+
+/// Number of posting lists that must be accessed so no candidate with
+/// overlap >= MinOverlap(k, theta_raw) is missed, by pigeonhole:
+/// k - MinOverlap + 1, clamped to [1, k]. This is the conservative +Drop
+/// policy from Section 6.1.
+uint32_t SufficientLists(uint32_t k, RawDistance theta_raw);
+
+/// Worst-case absence cost of all positions p in [from_pos, k):
+/// sum (k - p) = m*(m+1)/2 with m = k - from_pos. Used by the
+/// List-at-a-Time bounds (a ranking's uncovered tail positions, a query's
+/// unprocessed posting lists).
+RawDistance AbsentSuffixCost(uint32_t k, uint32_t from_pos);
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_BOUNDS_H_

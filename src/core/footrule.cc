@@ -1,0 +1,81 @@
+#include "core/footrule.h"
+
+#include <cstdlib>
+
+namespace topk {
+
+namespace {
+
+inline RawDistance AbsDiff(Rank x, Rank y) {
+  return x > y ? x - y : y - x;
+}
+
+}  // namespace
+
+RawDistance FootruleDistance(SortedRankingView a, SortedRankingView b) {
+  TOPK_DCHECK(a.k() == b.k());
+  const uint32_t k = a.k();
+  RawDistance total = 0;
+  uint32_t i = 0;
+  uint32_t j = 0;
+  while (i < k && j < k) {
+    const ItemId ia = a.item(i);
+    const ItemId ib = b.item(j);
+    if (ia == ib) {
+      total += AbsDiff(a.rank(i), b.rank(j));
+      ++i;
+      ++j;
+    } else if (ia < ib) {
+      total += k - a.rank(i);  // item only in a: |rank - l| with l = k
+      ++i;
+    } else {
+      total += k - b.rank(j);
+      ++j;
+    }
+  }
+  for (; i < k; ++i) total += k - a.rank(i);
+  for (; j < k; ++j) total += k - b.rank(j);
+  return total;
+}
+
+RawDistance FootruleDistanceNaive(RankingView a, RankingView b) {
+  TOPK_DCHECK(a.k() == b.k());
+  const uint32_t k = a.k();
+  RawDistance total = 0;
+  // Items of a: matched against b or absent.
+  for (Rank pa = 0; pa < k; ++pa) {
+    const auto pb = b.RankOf(a[pa]);
+    total += pb.has_value() ? AbsDiff(pa, *pb) : (k - pa);
+  }
+  // Items of b that are not in a.
+  for (Rank pb = 0; pb < k; ++pb) {
+    if (!a.Contains(b[pb])) total += k - pb;
+  }
+  return total;
+}
+
+uint64_t GeneralizedFootrule(std::span<const ItemId> a,
+                             std::span<const ItemId> b, uint64_t absent_rank,
+                             uint64_t first_rank) {
+  auto rank_of = [first_rank](std::span<const ItemId> r, ItemId item,
+                              uint64_t absent) -> uint64_t {
+    for (size_t p = 0; p < r.size(); ++p) {
+      if (r[p] == item) return first_rank + p;
+    }
+    return absent;
+  };
+  auto abs_diff = [](uint64_t x, uint64_t y) { return x > y ? x - y : y - x; };
+
+  uint64_t total = 0;
+  for (size_t p = 0; p < a.size(); ++p) {
+    total += abs_diff(first_rank + p, rank_of(b, a[p], absent_rank));
+  }
+  for (size_t p = 0; p < b.size(); ++p) {
+    if (rank_of(a, b[p], absent_rank) == absent_rank) {
+      total += abs_diff(first_rank + p, absent_rank);
+    }
+  }
+  return total;
+}
+
+}  // namespace topk

@@ -1,0 +1,41 @@
+// Spearman's Footrule distance for top-k lists (Section 3 of the paper).
+//
+// Following Fagin et al., items absent from a ranking receive the
+// artificial rank l = k (ranks run 0..k-1), which makes the Footrule
+// adaptation a metric over equal-size top-k lists. The raw distance is
+//
+//   F(a, b) = sum over items i in D_a union D_b of |rank_a(i) - rank_b(i)|
+//
+// with rank_x(i) = k when i is not in x. Its range is [0, k*(k+1)].
+
+#ifndef TOPK_CORE_FOOTRULE_H_
+#define TOPK_CORE_FOOTRULE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace topk {
+
+/// Raw Footrule distance via a linear merge of two item-sorted views.
+/// Both views must have the same k. O(k) time, branch-light; this is the
+/// library's hot distance kernel.
+RawDistance FootruleDistance(SortedRankingView a, SortedRankingView b);
+
+/// Reference O(k^2) implementation over position-order views; exists for
+/// differential testing and the micro-benchmark justifying the merge kernel.
+RawDistance FootruleDistanceNaive(RankingView a, RankingView b);
+
+/// Generalized Footrule used to cross-check the paper's worked example
+/// (Section 3): rankings may have different sizes, ranks start at
+/// `first_rank` (the paper's example is 1-based), and absent items get rank
+/// `absent_rank` (the paper's example uses l = 6).
+uint64_t GeneralizedFootrule(std::span<const ItemId> a,
+                             std::span<const ItemId> b, uint64_t absent_rank,
+                             uint64_t first_rank);
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_FOOTRULE_H_

@@ -1,0 +1,64 @@
+#include "core/kendall.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace topk {
+
+uint64_t KendallTauTimesTwo(RankingView a, RankingView b,
+                            uint64_t penalty_times_two) {
+  TOPK_DCHECK(a.k() == b.k());
+  // Union of the two domains, deduplicated.
+  std::vector<ItemId> universe(a.items().begin(), a.items().end());
+  universe.insert(universe.end(), b.items().begin(), b.items().end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+
+  uint64_t total = 0;  // accumulates 2 * K^(p)
+  for (size_t x = 0; x < universe.size(); ++x) {
+    for (size_t y = x + 1; y < universe.size(); ++y) {
+      const ItemId i = universe[x];
+      const ItemId j = universe[y];
+      const auto ai = a.RankOf(i);
+      const auto aj = a.RankOf(j);
+      const auto bi = b.RankOf(i);
+      const auto bj = b.RankOf(j);
+      const bool i_in_a = ai.has_value();
+      const bool j_in_a = aj.has_value();
+      const bool i_in_b = bi.has_value();
+      const bool j_in_b = bj.has_value();
+
+      if (i_in_a && j_in_a && i_in_b && j_in_b) {
+        // Case 1: both lists rank both items.
+        if ((*ai < *aj) != (*bi < *bj)) total += 2;
+      } else if (i_in_a && j_in_a && (i_in_b != j_in_b)) {
+        // Case 2 with a as the list holding both; exactly one is in b,
+        // which implicitly ranks its member ahead of the absent item —
+        // penalize when a says the opposite.
+        const bool a_puts_member_first =
+            i_in_b ? (*ai < *aj) : (*aj < *ai);
+        if (!a_puts_member_first) total += 2;
+      } else if (i_in_b && j_in_b && (i_in_a != j_in_a)) {
+        // Case 2 mirrored: b holds both, exactly one is in a.
+        const bool b_puts_member_first =
+            i_in_a ? (*bi < *bj) : (*bj < *bi);
+        if (!b_puts_member_first) total += 2;
+      } else if ((i_in_a && !i_in_b && j_in_b && !j_in_a) ||
+                 (j_in_a && !j_in_b && i_in_b && !i_in_a)) {
+        // Case 3: each list contains exactly one of the pair.
+        total += 2;
+      } else {
+        // Case 4: both items live in only one of the lists (the same one).
+        total += penalty_times_two;
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t KendallTauOptimistic(RankingView a, RankingView b) {
+  return KendallTauTimesTwo(a, b, 0) / 2;
+}
+
+}  // namespace topk

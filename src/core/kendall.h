@@ -1,0 +1,40 @@
+// Kendall's tau with penalty parameter p for top-k lists (Fagin et al.).
+//
+// The paper focuses on Footrule but introduces Kendall's tau as the other
+// prominent rank-distance (Section 3); we provide it for completeness and
+// because the classical Diaconis-Graham inequality K <= F <= 2K is a strong
+// property-test oracle for the Footrule kernel.
+
+#ifndef TOPK_CORE_KENDALL_H_
+#define TOPK_CORE_KENDALL_H_
+
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace topk {
+
+/// Kendall's tau distance K^(p) between two equal-size top-k lists, scaled
+/// by 2 so the result stays integral for the common p values 0 and 1/2:
+/// the returned value is 2 * K^(p).
+///
+/// Pairs {i, j} drawn from the union of the two domains contribute, per
+/// Fagin et al.'s four cases:
+///  1. both items in both lists: 1 if the lists order them differently;
+///  2. both in one list, exactly one of them in the other: 1 if the list
+///     containing both contradicts the implied order (the item missing from
+///     the other list is implicitly ranked below its cutoff);
+///  3. one item exclusive to each list: always 1;
+///  4. both items missing from one of the lists: the penalty p (unknowable
+///     order). p = 0 is the optimistic variant; p = 1/2 the neutral one.
+///
+/// `penalty_times_two` supplies 2*p, so 0 => p=0 and 1 => p=1/2.
+uint64_t KendallTauTimesTwo(RankingView a, RankingView b,
+                            uint64_t penalty_times_two);
+
+/// Convenience wrapper returning K^(0) (the optimistic penalty), which is
+/// integral without scaling.
+uint64_t KendallTauOptimistic(RankingView a, RankingView b);
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_KENDALL_H_

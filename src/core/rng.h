@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible bit-for-bit across platforms, so the
+// library uses its own SplitMix64-based generator instead of <random>
+// distributions (whose outputs are implementation-defined).
+
+#ifndef TOPK_CORE_RNG_H_
+#define TOPK_CORE_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace topk {
+
+/// SplitMix64: tiny, fast, passes BigCrush; plenty for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's multiply-shift
+  /// rejection method for unbiased results.
+  uint64_t Below(uint64_t bound) {
+    TOPK_DCHECK(bound > 0);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Below(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_RNG_H_

@@ -1,0 +1,35 @@
+#include "core/statistics.h"
+
+namespace topk {
+
+const char* TickerName(Ticker ticker) {
+  switch (ticker) {
+    case Ticker::kDistanceCalls:
+      return "distance_calls";
+    case Ticker::kPostingEntriesScanned:
+      return "posting_entries_scanned";
+    case Ticker::kPostingEntriesSkipped:
+      return "posting_entries_skipped";
+    case Ticker::kListsDropped:
+      return "lists_dropped";
+    case Ticker::kBlocksSkipped:
+      return "blocks_skipped";
+    case Ticker::kCandidates:
+      return "candidates";
+    case Ticker::kPrunedByLowerBound:
+      return "pruned_by_lower_bound";
+    case Ticker::kAcceptedByUpperBound:
+      return "accepted_by_upper_bound";
+    case Ticker::kPartitionsProbed:
+      return "partitions_probed";
+    case Ticker::kTreeNodesVisited:
+      return "tree_nodes_visited";
+    case Ticker::kResults:
+      return "results";
+    case Ticker::kNumTickers:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace topk

@@ -1,0 +1,108 @@
+// Minimal Status / Result types in the style of Apache Arrow and RocksDB.
+//
+// The library is built without exceptions on its hot paths; fallible
+// construction (e.g. a ranking containing duplicate items) reports through
+// Status / Result<T> instead. Internal invariants use TOPK_DCHECK.
+
+#ifndef TOPK_CORE_STATUS_H_
+#define TOPK_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace topk {
+
+#define TOPK_DCHECK(condition) assert(condition)
+
+/// Outcome of a fallible operation. Cheap to copy when OK (empty message).
+class Status {
+ public:
+  enum class Code { kOk, kInvalidArgument, kNotFound, kFailedPrecondition };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static std::string CodeName(Code code) {
+    switch (code) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kFailedPrecondition:
+        return "FailedPrecondition";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// A Status or a value: Result<T> holds T exactly when status().ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    TOPK_DCHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TOPK_DCHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    TOPK_DCHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    TOPK_DCHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, aborting in debug builds if not OK. Used by call
+  /// sites that have already validated inputs.
+  T ValueOrDie() && {
+    TOPK_DCHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_STATUS_H_

@@ -1,0 +1,64 @@
+// Core identifier and distance types shared by every module.
+//
+// All distances in this library are *raw* Spearman's Footrule values:
+// non-negative integers in [0, k*(k+1)] for rankings of size k. Working in
+// integers keeps the metric discrete (as the BK-tree requires) and makes
+// threshold comparisons exact; the normalized [0, 1] scale used in the
+// paper's plots exists only at the API boundary (see NormalizeDistance /
+// RawThreshold below).
+
+#ifndef TOPK_CORE_TYPES_H_
+#define TOPK_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace topk {
+
+/// Identifier of an item appearing inside rankings. Items are dense
+/// non-negative integers, as in the paper ("items are represented by their
+/// ids").
+using ItemId = uint32_t;
+
+/// Identifier of a ranking within a RankingStore (its insertion position).
+using RankingId = uint32_t;
+
+/// A rank (position) inside a ranking: 0 is the top position, k-1 the last.
+/// Items absent from a ranking are assigned the artificial rank l = k,
+/// following Fagin et al.'s metric top-k adaptation used by the paper.
+using Rank = uint32_t;
+
+/// Raw (unnormalized, integral) Footrule distance.
+using RawDistance = uint64_t;
+
+inline constexpr RankingId kInvalidRankingId =
+    std::numeric_limits<RankingId>::max();
+
+/// Largest possible raw Footrule distance between two size-k rankings:
+/// two disjoint rankings pay (k - p) for each position p on both sides,
+/// i.e. 2 * sum_{j=1..k} j = k*(k+1).
+inline constexpr RawDistance MaxDistance(uint32_t k) {
+  return static_cast<RawDistance>(k) * (k + 1);
+}
+
+/// Normalizes a raw distance into [0, 1] (dmax = 1 as in the paper).
+inline constexpr double NormalizeDistance(RawDistance d, uint32_t k) {
+  return static_cast<double>(d) / static_cast<double>(MaxDistance(k));
+}
+
+/// Converts a normalized threshold theta in [0, 1] to the largest raw
+/// distance that still satisfies it. A ranking qualifies iff
+/// raw / (k*(k+1)) <= theta, i.e. raw <= theta * k * (k+1); since raw is
+/// integral the cutoff is the floor, with a small epsilon guarding against
+/// values like 0.3 * 110 evaluating to 32.999999999999996.
+inline RawDistance RawThreshold(double theta_norm, uint32_t k) {
+  if (theta_norm <= 0.0) return 0;
+  const double scaled = theta_norm * static_cast<double>(MaxDistance(k));
+  const auto raw = static_cast<RawDistance>(scaled + 1e-9);
+  return raw > MaxDistance(k) ? MaxDistance(k) : raw;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TYPES_H_

@@ -1,0 +1,63 @@
+#include "costmodel/ball_profile.h"
+
+#include <algorithm>
+
+#include "core/footrule.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace topk {
+
+BallProfile BallProfile::Sample(const RankingStore& store,
+                                size_t num_samples, Rng* rng) {
+  TOPK_DCHECK(!store.empty());
+  BallProfile profile;
+  profile.n_ = store.size();
+  profile.k_ = store.k();
+  const size_t buckets = MaxDistance(store.k()) + 1;
+  num_samples = std::min(num_samples, store.size());
+
+  profile.prefix_.reserve(num_samples);
+  for (size_t s = 0; s < num_samples; ++s) {
+    const auto sample = static_cast<RankingId>(rng->Below(store.size()));
+    std::vector<uint32_t> histogram(buckets, 0);
+    const SortedRankingView sv = store.sorted(sample);
+    for (RankingId id = 0; id < store.size(); ++id) {
+      ++histogram[FootruleDistance(sv, store.sorted(id))];
+    }
+    // In-place prefix sums: histogram[d] becomes #rankings within d.
+    for (size_t d = 1; d < buckets; ++d) histogram[d] += histogram[d - 1];
+    profile.prefix_.push_back(std::move(histogram));
+  }
+  return profile;
+}
+
+double BallProfile::MeanBall(double theta_norm) const {
+  TOPK_DCHECK(!prefix_.empty());
+  const RawDistance raw = RawThreshold(theta_norm, k_);
+  double total = 0;
+  for (const auto& prefix : prefix_) total += prefix[raw];
+  return total / static_cast<double>(prefix_.size());
+}
+
+double BallProfile::HarmonicBallCount(double theta_norm) const {
+  TOPK_DCHECK(!prefix_.empty());
+  const RawDistance raw = RawThreshold(theta_norm, k_);
+  double inverse_sum = 0;
+  for (const auto& prefix : prefix_) {
+    inverse_sum += 1.0 / static_cast<double>(std::max<uint32_t>(1,
+                                                                prefix[raw]));
+  }
+  return static_cast<double>(n_) * inverse_sum /
+         static_cast<double>(prefix_.size());
+}
+
+double BallProfile::P(double theta_norm) const {
+  if (n_ <= 1) return 1.0;
+  // MeanBall counts the sample itself; exclude self-pairs.
+  return std::clamp((MeanBall(theta_norm) - 1.0) /
+                        static_cast<double>(n_ - 1),
+                    0.0, 1.0);
+}
+
+}  // namespace topk

@@ -1,0 +1,70 @@
+// Sampled per-ranking coverage profile — the distributional input of the
+// cost model.
+//
+// The paper's Section 5 assumes only the pairwise-distance CDF, which
+// prices every ranking's theta_C-ball at the same average size. On heavy-
+// tailed collections (a query log's duplicate structure) that assumption
+// collapses: a few giant clusters dominate the average ball while most
+// rankings sit in tiny ones, so the coupon-package medoid count predicts
+// far too few medoids. The BallProfile keeps the per-point view: for a
+// sample of rankings it records the full histogram of distances to the
+// *entire* collection, from which both the pooled CDF (the paper's input)
+// and per-point ball sizes are available at every radius.
+//
+// Medoid-count estimation from the profile (the kHarmonicBalls estimator):
+// under random-order medoid picking, a cluster of rankings whose balls
+// coincide contributes exactly one medoid, i.e. each ranking x is a medoid
+// with probability ~ 1/B_x(theta_C); hence
+//
+//   M(theta_C) ~ n * E_x[ 1 / B_x(theta_C) ].
+//
+// Limits agree with the paper's model (B = 1 everywhere -> n; B = n -> 1),
+// and the estimate tracks actual partitioner runs on heterogeneous data
+// where the homogeneous model is off by multiples (see costmodel tests and
+// bench/table5_model_accuracy).
+
+#ifndef TOPK_COSTMODEL_BALL_PROFILE_H_
+#define TOPK_COSTMODEL_BALL_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/rng.h"
+
+namespace topk {
+
+class BallProfile {
+ public:
+  /// Computes the distance histogram of `num_samples` random rankings
+  /// against the whole store: num_samples * n Footrule calls, done once
+  /// per dataset and shared by every model evaluation.
+  static BallProfile Sample(const RankingStore& store, size_t num_samples,
+                            Rng* rng);
+
+  size_t n() const { return n_; }
+  uint32_t k() const { return k_; }
+  size_t num_samples() const { return prefix_.size(); }
+
+  /// E_x[B_x(theta)]: expected number of rankings (including x itself)
+  /// within normalized radius theta of a random ranking x.
+  double MeanBall(double theta_norm) const;
+
+  /// n * E_x[1 / B_x(theta)] — the harmonic-mean medoid-count estimate.
+  double HarmonicBallCount(double theta_norm) const;
+
+  /// Pooled pairwise CDF P[X <= theta] (self-pairs excluded), the paper's
+  /// distributional input.
+  double P(double theta_norm) const;
+
+ private:
+  size_t n_ = 0;
+  uint32_t k_ = 0;
+  // prefix_[s][d] = number of rankings at raw distance <= d from sample s
+  // (self included), for d in [0, dmax].
+  std::vector<std::vector<uint32_t>> prefix_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COSTMODEL_BALL_PROFILE_H_

@@ -1,0 +1,92 @@
+#include "costmodel/calibration.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/footrule.h"
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "invidx/visited_set.h"
+
+namespace topk {
+
+namespace {
+
+RankingStore MakeRandomStore(uint32_t k, size_t n, Rng* rng) {
+  RankingStore store(k);
+  std::vector<ItemId> items(k);
+  const uint64_t domain = std::max<uint64_t>(4 * k, 1000);
+  for (size_t i = 0; i < n; ++i) {
+    size_t filled = 0;
+    while (filled < k) {
+      const auto item = static_cast<ItemId>(rng->Below(domain));
+      if (std::find(items.begin(), items.begin() + filled, item) ==
+          items.begin() + filled) {
+        items[filled++] = item;
+      }
+    }
+    store.AddUnchecked(items);
+  }
+  return store;
+}
+
+}  // namespace
+
+Calibration Calibrate(uint32_t k, uint64_t seed) {
+  Rng rng(seed);
+  Calibration calib;
+
+  // Footrule cost: time a loop of distance calls over random pairs. The
+  // accumulated sum keeps the optimizer from eliding the loop.
+  {
+    constexpr size_t kPairs = 200000;
+    const RankingStore store = MakeRandomStore(k, 512, &rng);
+    volatile RawDistance sink = 0;
+    Stopwatch watch;
+    for (size_t i = 0; i < kPairs; ++i) {
+      const auto a = static_cast<RankingId>(rng.Below(store.size()));
+      const auto b = static_cast<RankingId>(rng.Below(store.size()));
+      sink = sink + FootruleDistance(store.sorted(a), store.sorted(b));
+    }
+    calib.footrule_ns =
+        static_cast<double>(watch.ElapsedNanos()) / static_cast<double>(kPairs);
+  }
+
+  // Merge cost: time the union of k id-sorted posting lists with epoch
+  // deduplication — the filter phase's inner loop.
+  {
+    constexpr size_t kListLength = 40000;
+    constexpr uint32_t kUniverse = 1u << 20;
+    std::vector<std::vector<RankingId>> lists(k);
+    for (auto& list : lists) {
+      list.resize(kListLength);
+      for (auto& id : list) id = static_cast<RankingId>(rng.Below(kUniverse));
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    size_t total_entries = 0;
+    for (const auto& list : lists) total_entries += list.size();
+
+    VisitedSet visited(kUniverse);
+    std::vector<RankingId> candidates;
+    candidates.reserve(total_entries);
+    constexpr int kRounds = 8;
+    Stopwatch watch;
+    for (int round = 0; round < kRounds; ++round) {
+      visited.NextEpoch();
+      candidates.clear();
+      for (const auto& list : lists) {
+        for (RankingId id : list) {
+          if (!visited.TestAndSet(id)) candidates.push_back(id);
+        }
+      }
+    }
+    calib.merge_ns_per_entry =
+        static_cast<double>(watch.ElapsedNanos()) /
+        static_cast<double>(total_entries * kRounds);
+  }
+  return calib;
+}
+
+}  // namespace topk

@@ -1,0 +1,29 @@
+// Runtime calibration of the cost model's unit costs (Section 5):
+// CostFootrule(k), the wall time of one Footrule evaluation, and
+// Costmerge(k, size), modeled as a per-posting-entry merge cost. Both are
+// measured on the fly with short microbenchmarks so the model speaks the
+// same "runtime cost" unit as the measured curves in Figure 3.
+
+#ifndef TOPK_COSTMODEL_CALIBRATION_H_
+#define TOPK_COSTMODEL_CALIBRATION_H_
+
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace topk {
+
+struct Calibration {
+  /// Nanoseconds per Footrule distance call at the calibrated k.
+  double footrule_ns = 0;
+  /// Nanoseconds per posting entry during list merging (scan + dedup).
+  double merge_ns_per_entry = 0;
+};
+
+/// Measures both unit costs for rankings of size k. Deterministic inputs
+/// from `seed`; takes a few milliseconds.
+Calibration Calibrate(uint32_t k, uint64_t seed = 12345);
+
+}  // namespace topk
+
+#endif  // TOPK_COSTMODEL_CALIBRATION_H_

@@ -1,0 +1,90 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/status.h"
+#include "costmodel/medoid_model.h"
+#include "costmodel/zipf.h"
+
+namespace topk {
+
+CoarseCostModel::CoarseCostModel(CostModelInputs inputs,
+                                 CostModelOptions options)
+    : inputs_(std::move(inputs)), options_(options) {
+  TOPK_DCHECK(inputs_.n > 0 && inputs_.k > 0 && inputs_.v > 0);
+}
+
+double CoarseCostModel::ExpectedMedoidCount(double theta_c) const {
+  switch (options_.estimator) {
+    case MedoidEstimator::kHarmonicBalls:
+      return inputs_.profile.HarmonicBallCount(theta_c);
+    case MedoidEstimator::kCouponPackages:
+      // The paper's model fed with the average ball size. The recurrence
+      // form: the closed-form Eq. (1)-(2) diverges above n for small
+      // packages, which would flatten the filter-cost curve exactly where
+      // the sweet spot lives (see medoid_model.h).
+      return ExpectedMedoidsRecurrence(inputs_.n,
+                                       inputs_.profile.MeanBall(theta_c));
+  }
+  return static_cast<double>(inputs_.n);
+}
+
+double CoarseCostModel::ExpectedDistinctMedoidItems(
+    double medoid_count) const {
+  // Eq (6): v' = v * (1 - (1 - k/v)^M).
+  const double v = static_cast<double>(inputs_.v);
+  const double ratio = 1.0 - static_cast<double>(inputs_.k) / v;
+  return v * (1.0 - std::pow(ratio, medoid_count));
+}
+
+double CoarseCostModel::ExpectedIndexListLength(double medoid_count) const {
+  // Eq (5): E[Y] = sum_i M * f(i; s, v')^2 = M * H_{v',2s} / H_{v',s}^2.
+  const double v_prime = ExpectedDistinctMedoidItems(medoid_count);
+  const auto v_items = static_cast<uint64_t>(std::max(1.0, v_prime));
+  return medoid_count * ZipfSquaredMass(v_items, inputs_.zipf_s);
+}
+
+CostBreakdown CoarseCostModel::Predict(double theta, double theta_c) const {
+  const double medoids = ExpectedMedoidCount(theta_c);
+  const double list_len = ExpectedIndexListLength(medoids);
+  const double k = static_cast<double>(inputs_.k);
+
+  CostBreakdown cost;
+  // Table 3, "Find medoids for query": merging k index lists plus a
+  // Footrule call per retrieved medoid.
+  const double merged_entries = k * list_len;
+  cost.filter_ns = merged_entries * inputs_.calib.merge_ns_per_entry +
+                   merged_entries * inputs_.calib.footrule_ns;
+  // Table 3, "Validation of retrieved rankings" (Eqs 3-4): the candidate
+  // rankings of all qualifying partitions.
+  const double candidates =
+      static_cast<double>(inputs_.n) * inputs_.profile.P(theta + theta_c);
+  cost.validate_ns = candidates * inputs_.calib.footrule_ns;
+  return cost;
+}
+
+CoarseCostModel::TuneResult CoarseCostModel::Tune(
+    double theta, std::span<const double> theta_c_grid) const {
+  TuneResult result;
+  TOPK_DCHECK(!theta_c_grid.empty());
+  bool first = true;
+  for (double theta_c : theta_c_grid) {
+    const CostBreakdown cost = Predict(theta, theta_c);
+    result.series.push_back(TunePoint{theta_c, cost});
+    if (first || cost.total_ns() < result.best_cost.total_ns()) {
+      result.best_theta_c = theta_c;
+      result.best_cost = cost;
+      first = false;
+    }
+  }
+  return result;
+}
+
+std::vector<double> MakeGrid(double lo, double hi, double step) {
+  std::vector<double> grid;
+  for (double x = lo; x <= hi + 1e-12; x += step) grid.push_back(x);
+  return grid;
+}
+
+}  // namespace topk

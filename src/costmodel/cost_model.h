@@ -1,0 +1,98 @@
+// The coarse index's analytical cost model and theta_C auto-tuner
+// (Section 5, Table 3, Figure 3).
+//
+// Inputs: collection size n, ranking size k, item-domain size v, the Zipf
+// skew s of item popularity, the sampled distance profile, and the
+// calibrated unit costs. The model predicts, for a query threshold theta
+// and a candidate partitioning threshold theta_C:
+//
+//   medoids   M      = medoid-count estimate at theta_C (see below)
+//   items     v'     = v * (1 - (1 - k/v)^M)                       (Eq 6)
+//   list len  E[Y]   = M * H_{v',2s} / H_{v',s}^2                  (Eq 5)
+//   filter    cost   = Costmerge(k * E[Y]) + k * E[Y] * CostFootrule
+//   validate  cost   = n * P[X <= theta + theta_C] * CostFootrule  (Eq 3-4)
+//
+// Two medoid estimators are provided:
+//   kCouponPackages — the paper's coupon-collector-with-packages argument
+//                     (Eq 1-2) fed with the average ball size; exact under
+//                     the paper's homogeneity assumption.
+//   kHarmonicBalls  — n * E[1/B_x(theta_C)] from the sampled per-point
+//                     profile (default); equals the coupon model on
+//                     homogeneous data and stays accurate on heavy-tailed
+//                     duplicate structure (see ball_profile.h).
+//
+// Tune() sweeps a theta_C grid and returns the argmin — the model-chosen
+// sweet spot plotted as the small rectangle in Figure 7 and scored in
+// Table 5.
+
+#ifndef TOPK_COSTMODEL_COST_MODEL_H_
+#define TOPK_COSTMODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "costmodel/ball_profile.h"
+#include "costmodel/calibration.h"
+
+namespace topk {
+
+struct CostModelInputs {
+  uint64_t n = 0;        // number of rankings
+  uint32_t k = 0;        // ranking size
+  uint64_t v = 0;        // global item-domain size (distinct items)
+  double zipf_s = 0;     // item-popularity skew
+  BallProfile profile;   // sampled distance profile (CDF + ball sizes)
+  Calibration calib;     // unit costs
+};
+
+enum class MedoidEstimator { kHarmonicBalls, kCouponPackages };
+
+struct CostModelOptions {
+  MedoidEstimator estimator = MedoidEstimator::kHarmonicBalls;
+};
+
+struct CostBreakdown {
+  double filter_ns = 0;
+  double validate_ns = 0;
+  double total_ns() const { return filter_ns + validate_ns; }
+};
+
+class CoarseCostModel {
+ public:
+  explicit CoarseCostModel(CostModelInputs inputs,
+                           CostModelOptions options = {});
+
+  /// Predicted per-query cost at (theta, theta_C), both normalized.
+  CostBreakdown Predict(double theta, double theta_c) const;
+
+  /// Model internals, exposed for tests and the Figure 3 bench.
+  double ExpectedMedoidCount(double theta_c) const;
+  double ExpectedDistinctMedoidItems(double medoid_count) const;
+  double ExpectedIndexListLength(double medoid_count) const;
+
+  struct TunePoint {
+    double theta_c;
+    CostBreakdown cost;
+  };
+  struct TuneResult {
+    double best_theta_c = 0;
+    CostBreakdown best_cost;
+    std::vector<TunePoint> series;
+  };
+  /// Evaluates the model across `theta_c_grid` and returns the argmin.
+  TuneResult Tune(double theta, std::span<const double> theta_c_grid) const;
+
+  const CostModelInputs& inputs() const { return inputs_; }
+
+ private:
+  CostModelInputs inputs_;
+  CostModelOptions options_;
+};
+
+/// Evenly spaced grid helper for sweeps: lo, lo+step, ..., <= hi.
+std::vector<double> MakeGrid(double lo, double hi, double step);
+
+}  // namespace topk
+
+#endif  // TOPK_COSTMODEL_COST_MODEL_H_

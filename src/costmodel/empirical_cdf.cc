@@ -1,0 +1,39 @@
+#include "costmodel/empirical_cdf.h"
+
+#include <algorithm>
+
+#include "core/footrule.h"
+#include "core/status.h"
+
+namespace topk {
+
+EmpiricalCdf EmpiricalCdf::FromSamples(std::vector<double> samples) {
+  EmpiricalCdf cdf;
+  cdf.sorted_ = std::move(samples);
+  std::sort(cdf.sorted_.begin(), cdf.sorted_.end());
+  return cdf;
+}
+
+double EmpiricalCdf::P(double x) const {
+  if (sorted_.empty()) return 0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+EmpiricalCdf SamplePairwiseDistances(const RankingStore& store,
+                                     size_t num_pairs, Rng* rng) {
+  TOPK_DCHECK(store.size() >= 2);
+  std::vector<double> samples;
+  samples.reserve(num_pairs);
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const auto a = static_cast<RankingId>(rng->Below(store.size()));
+    auto b = static_cast<RankingId>(rng->Below(store.size() - 1));
+    if (b >= a) ++b;
+    const RawDistance d = FootruleDistance(store.sorted(a), store.sorted(b));
+    samples.push_back(NormalizeDistance(d, store.k()));
+  }
+  return EmpiricalCdf::FromSamples(std::move(samples));
+}
+
+}  // namespace topk

@@ -1,0 +1,40 @@
+// Empirical distribution of pairwise ranking distances.
+//
+// The cost model's only distributional assumption about the data is the
+// CDF P[X <= x] of the distance between two random rankings (Section 5,
+// "we assume we know only the distribution of pairwise distances"). It is
+// estimated by sampling random pairs from the store.
+
+#ifndef TOPK_COSTMODEL_EMPIRICAL_CDF_H_
+#define TOPK_COSTMODEL_EMPIRICAL_CDF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/rng.h"
+
+namespace topk {
+
+class EmpiricalCdf {
+ public:
+  /// Builds from raw samples (any order); values are normalized distances.
+  static EmpiricalCdf FromSamples(std::vector<double> samples);
+
+  /// P[X <= x], a right-continuous step function in [0, 1].
+  double P(double x) const;
+
+  size_t num_samples() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Samples `num_pairs` random (unordered, distinct) ranking pairs and
+/// returns the empirical CDF of their normalized Footrule distances.
+EmpiricalCdf SamplePairwiseDistances(const RankingStore& store,
+                                     size_t num_pairs, Rng* rng);
+
+}  // namespace topk
+
+#endif  // TOPK_COSTMODEL_EMPIRICAL_CDF_H_

@@ -1,0 +1,42 @@
+#include "costmodel/medoid_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topk {
+
+double ExpectedMedoids(uint64_t n, double package) {
+  if (n == 0) return 0;
+  const auto p = static_cast<uint64_t>(std::llround(
+      std::clamp(package, 1.0, static_cast<double>(n))));
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t r = i % p;
+    if (r == 0) {
+      sum += 1.0;
+    } else {
+      sum += static_cast<double>(n - r) / static_cast<double>(n - i);
+    }
+  }
+  // The raw coupon sum diverges for small packages (its tail behaves like
+  // n * H_n), which would predict more medoids than rankings exist. The
+  // count is physically bounded by [1, n]: every ranking is at most one
+  // medoid, and one medoid always suffices at full coverage.
+  const double m = sum / static_cast<double>(p);
+  return std::clamp(m, 1.0, static_cast<double>(n));
+}
+
+double ExpectedMedoidsRecurrence(uint64_t n, double package) {
+  if (n == 0) return 0;
+  const double p = std::clamp(package, 1.0, static_cast<double>(n));
+  const double absorb = (p - 1.0) / static_cast<double>(n);
+  double remaining = static_cast<double>(n);
+  double medoids = 0;
+  while (remaining >= 1.0) {
+    remaining -= 1.0 + absorb * (remaining - 1.0);
+    medoids += 1.0;
+  }
+  return std::max(1.0, medoids);
+}
+
+}  // namespace topk

@@ -1,0 +1,46 @@
+// Expected medoid count via the coupon-collector-with-packages argument
+// (Section 5, Equations (1) and (2)).
+//
+// Under Chavez-Navarro partitioning, each random medoid absorbs roughly
+// p = P[X <= theta_C] * n rankings. Treating rankings as coupons acquired
+// in duplicate-free packages of size p, the expected number of packages
+// (medoids) needed to cover all n rankings is
+//
+//   M(n, theta_C) = (1/p) * sum_{i=0}^{n-1} h(n, i, p),
+//   h(n, i, p)    = 1                          if i mod p == 0
+//                 = (n - (i mod p)) / (n - i)  otherwise.
+//
+// Limits check out: p = 1 gives M = n (singletons), p = n gives M = 1.
+//
+// Deviation from the paper (documented in DESIGN.md): the raw sum
+// diverges for small packages — e.g. n = 1000, p = 2 yields M ≈ 2292 > n,
+// which no clustering can produce. ExpectedMedoids clamps the result into
+// the physically possible range [1, n].
+
+#ifndef TOPK_COSTMODEL_MEDOID_MODEL_H_
+#define TOPK_COSTMODEL_MEDOID_MODEL_H_
+
+#include <cstdint>
+
+namespace topk {
+
+/// Expected medoid count for collection size `n` and expected package size
+/// `package` (clamped into [1, n]) — the paper's Eq. (1)-(2), verbatim
+/// except for the physical clamp.
+double ExpectedMedoids(uint64_t n, double package);
+
+/// Recurrence form of the same model, used by the cost model: each round
+/// picks a medoid from the still-unassigned rankings (guaranteed new, the
+/// paper's stated deviation from the standard coupon collector) and
+/// absorbs each remaining ranking with probability (package-1)/n:
+///
+///   r_{m+1} = r_m - 1 - (package - 1) * r_m / n,   M = rounds to r = 0.
+///
+/// Unlike the closed-form sum, this stays within [1, n] for every package
+/// size and tracks Chavez-Navarro simulations closely (see tests); both
+/// agree in the limits (package 1 -> n, package n -> 1).
+double ExpectedMedoidsRecurrence(uint64_t n, double package);
+
+}  // namespace topk
+
+#endif  // TOPK_COSTMODEL_MEDOID_MODEL_H_

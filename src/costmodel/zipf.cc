@@ -1,0 +1,74 @@
+#include "costmodel/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/status.h"
+
+namespace topk {
+
+double GeneralizedHarmonic(uint64_t v, double s) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= v; ++i) {
+    sum += std::pow(static_cast<double>(i), -s);
+  }
+  return sum;
+}
+
+double ZipfPmf(uint64_t rank, double s, uint64_t v) {
+  TOPK_DCHECK(rank >= 1 && rank <= v);
+  return std::pow(static_cast<double>(rank), -s) / GeneralizedHarmonic(v, s);
+}
+
+double ZipfSquaredMass(uint64_t v, double s) {
+  const double h = GeneralizedHarmonic(v, s);
+  return GeneralizedHarmonic(v, 2 * s) / (h * h);
+}
+
+ZipfSampler::ZipfSampler(double s, uint64_t num_items) : s_(s) {
+  TOPK_DCHECK(num_items > 0);
+  cdf_.resize(num_items);
+  double acc = 0;
+  for (uint64_t i = 1; i <= num_items; ++i) {
+    acc += std::pow(static_cast<double>(i), -s);
+    cdf_[i - 1] = acc;
+  }
+  for (double& x : cdf_) x /= acc;  // normalize without a second harmonic
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double EstimateZipfSkew(std::span<const uint64_t> frequencies) {
+  std::vector<uint64_t> nonzero;
+  nonzero.reserve(frequencies.size());
+  for (uint64_t f : frequencies) {
+    if (f > 0) nonzero.push_back(f);
+  }
+  if (nonzero.size() < 2) return 0;
+  std::sort(nonzero.begin(), nonzero.end(), std::greater<>());
+
+  // Least squares on (log rank, log frequency).
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  const double m = static_cast<double>(nonzero.size());
+  for (size_t i = 0; i < nonzero.size(); ++i) {
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(nonzero[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = m * sxx - sx * sx;
+  if (denom <= 0) return 0;
+  const double slope = (m * sxy - sx * sy) / denom;
+  return std::max(0.0, -slope);
+}
+
+}  // namespace topk

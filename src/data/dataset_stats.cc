@@ -1,0 +1,43 @@
+#include "data/dataset_stats.h"
+
+#include "core/rng.h"
+#include "costmodel/zipf.h"
+
+namespace topk {
+
+std::vector<uint64_t> ItemFrequencies(const RankingStore& store) {
+  std::vector<uint64_t> freqs(static_cast<size_t>(store.max_item()) + 1, 0);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    for (ItemId item : store.view(id).items()) ++freqs[item];
+  }
+  return freqs;
+}
+
+uint64_t CountDistinctItems(const RankingStore& store) {
+  uint64_t distinct = 0;
+  for (uint64_t f : ItemFrequencies(store)) {
+    if (f > 0) ++distinct;
+  }
+  return distinct;
+}
+
+CostModelInputs MeasureCostModelInputs(const RankingStore& store,
+                                       size_t profile_samples,
+                                       uint64_t seed) {
+  CostModelInputs inputs;
+  inputs.n = store.size();
+  inputs.k = store.k();
+  const std::vector<uint64_t> freqs = ItemFrequencies(store);
+  uint64_t distinct = 0;
+  for (uint64_t f : freqs) {
+    if (f > 0) ++distinct;
+  }
+  inputs.v = distinct;
+  inputs.zipf_s = EstimateZipfSkew(freqs);
+  Rng rng(seed);
+  inputs.profile = BallProfile::Sample(store, profile_samples, &rng);
+  inputs.calib = Calibrate(store.k(), seed);
+  return inputs;
+}
+
+}  // namespace topk

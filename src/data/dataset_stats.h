@@ -1,0 +1,31 @@
+// Dataset statistics feeding the cost model: the item-frequency table,
+// the fitted Zipf skew, the distinct-item count, and the sampled pairwise
+// distance CDF (Section 5 estimates all of these from the data).
+
+#ifndef TOPK_DATA_DATASET_STATS_H_
+#define TOPK_DATA_DATASET_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+#include "costmodel/cost_model.h"
+
+namespace topk {
+
+/// Frequency (number of containing rankings) per item id, indexed by item.
+std::vector<uint64_t> ItemFrequencies(const RankingStore& store);
+
+/// Number of distinct items appearing in the store.
+uint64_t CountDistinctItems(const RankingStore& store);
+
+/// Assembles every cost-model input by measurement: fits the Zipf skew,
+/// samples the distance profile (`profile_samples` rankings against the
+/// whole store), and calibrates the unit costs.
+CostModelInputs MeasureCostModelInputs(const RankingStore& store,
+                                       size_t profile_samples = 128,
+                                       uint64_t seed = 7);
+
+}  // namespace topk
+
+#endif  // TOPK_DATA_DATASET_STATS_H_

@@ -1,0 +1,126 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topk {
+
+void SampleRanking(const ZipfSampler& sampler, uint32_t k, Rng* rng,
+                   std::vector<ItemId>* out) {
+  out->clear();
+  while (out->size() < k) {
+    const auto item = static_cast<ItemId>(sampler.Sample(rng));
+    if (std::find(out->begin(), out->end(), item) == out->end()) {
+      out->push_back(item);
+    }
+  }
+}
+
+void Perturb(std::vector<ItemId>* items, const ZipfSampler& sampler,
+             uint32_t ops, double replace_probability, Rng* rng) {
+  const auto k = static_cast<uint32_t>(items->size());
+  for (uint32_t op = 0; op < ops; ++op) {
+    if (rng->NextDouble() < replace_probability) {
+      // Replace the item at a random position with a fresh draw; reject
+      // draws already present to keep the ranking duplicate-free.
+      const auto pos = static_cast<uint32_t>(rng->Below(k));
+      for (;;) {
+        const auto item = static_cast<ItemId>(sampler.Sample(rng));
+        if (std::find(items->begin(), items->end(), item) == items->end()) {
+          (*items)[pos] = item;
+          break;
+        }
+      }
+    } else if (k >= 2) {
+      // Swap two adjacent ranks (raw Footrule delta of at most 2).
+      const auto pos = static_cast<uint32_t>(rng->Below(k - 1));
+      std::swap((*items)[pos], (*items)[pos + 1]);
+    }
+  }
+}
+
+RankingStore Generate(const GeneratorOptions& options) {
+  TOPK_DCHECK(options.domain >= 2 * options.k);
+  Rng rng(options.seed);
+  ZipfSampler sampler(options.zipf_s, options.domain);
+  RankingStore store(options.k);
+
+  // Cluster sizes: geometric by default; Zipf-tailed (inverse-power
+  // inversion sampling, truncated) for query-log-like duplication.
+  const double mean = std::max(1.0, options.mean_cluster_size);
+  auto cluster_size = [&]() -> uint32_t {
+    if (options.cluster_zipf_exponent > 1.0) {
+      const double u = std::max(1e-12, rng.NextDouble());
+      const double tail = 1.0 / (options.cluster_zipf_exponent - 1.0);
+      const double c = std::pow(u, -tail);
+      const double capped =
+          std::min(c, static_cast<double>(options.max_cluster_size));
+      return static_cast<uint32_t>(capped);
+    }
+    if (mean <= 1.0) return 1;
+    uint32_t size = 1;
+    const double p_continue = 1.0 - 1.0 / mean;
+    while (rng.NextDouble() < p_continue) ++size;
+    return size;
+  };
+
+  std::vector<ItemId> seed_items;
+  std::vector<ItemId> dup_items;
+  while (store.size() < options.n) {
+    SampleRanking(sampler, options.k, &rng, &seed_items);
+    store.AddUnchecked(seed_items);
+    uint32_t remaining = cluster_size() - 1;
+    while (remaining > 0 && store.size() < options.n) {
+      dup_items = seed_items;
+      if (rng.NextDouble() >= options.exact_duplicate_probability) {
+        const auto ops =
+            1 + static_cast<uint32_t>(rng.Below(options.max_perturb_ops));
+        Perturb(&dup_items, sampler, ops, options.replace_probability, &rng);
+      }
+      store.AddUnchecked(dup_items);
+      --remaining;
+    }
+  }
+  return store;
+}
+
+GeneratorOptions NytLikeOptions(uint32_t n, uint32_t k, uint64_t seed) {
+  GeneratorOptions options;
+  options.n = n;
+  options.k = k;
+  // Domain scaled so popular documents recur across many rankings, as in
+  // the query-log workload (n >> distinct hot documents).
+  options.domain = std::max<uint32_t>(4 * k, n / 2);
+  options.zipf_s = 0.87;
+  // Query-log duplication: cluster sizes are Zipf-tailed (popular queries
+  // recur thousands of times) and most of a cluster's members are exact
+  // re-issues of the same query, the rest related variations. Intra-
+  // cluster distances spread over [0, ~0.5] via 1..6 perturbation ops.
+  // This is what makes the paper's NYT result sets huge and lets the
+  // coarse index skip re-validating duplicates (Figure 10).
+  options.cluster_zipf_exponent = 1.6;
+  options.max_cluster_size = std::max<uint32_t>(8, n / 8);
+  options.exact_duplicate_probability = 0.7;
+  options.max_perturb_ops = 6;
+  options.replace_probability = 0.45;
+  options.seed = seed;
+  return options;
+}
+
+GeneratorOptions YagoLikeOptions(uint32_t n, uint32_t k, uint64_t seed) {
+  GeneratorOptions options;
+  options.n = n;
+  options.k = k;
+  // Entities occur in few rankings: domain comparable to n * k / small
+  // factor, mild skew, small clusters ("chunks of rankings similar to
+  // each other", Section 7).
+  options.domain = std::max<uint32_t>(4 * k, 3 * n);
+  options.zipf_s = 0.53;
+  options.mean_cluster_size = 2.5;
+  options.max_perturb_ops = 4;
+  options.replace_probability = 0.5;
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace topk

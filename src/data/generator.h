@@ -1,0 +1,83 @@
+// Synthetic dataset generators standing in for the paper's private
+// datasets (Section 7; substitution rationale in DESIGN.md Section 3).
+//
+// Both generators share one mechanism — cluster-seeded Zipf sampling:
+// seed rankings draw their items from a Zipf(s) popularity law over the
+// item domain, and each seed spawns a geometrically-sized cluster of
+// near-duplicates obtained by small perturbations (adjacent-rank swaps and
+// tail-item replacements). The two presets differ exactly where the paper
+// says the real datasets differ:
+//
+//   NYT-like  — high skew (s = 0.87), large clusters: popular documents
+//               appear in many query-result rankings and similar queries
+//               yield near-identical rankings.
+//   Yago-like — mild skew (s = 0.53), tiny clusters: entities occur in few
+//               rankings; result sets are nearly singletons.
+
+#ifndef TOPK_DATA_GENERATOR_H_
+#define TOPK_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/rng.h"
+#include "costmodel/zipf.h"
+
+namespace topk {
+
+struct GeneratorOptions {
+  /// Number of rankings to generate.
+  uint32_t n = 25000;
+  /// Ranking size.
+  uint32_t k = 10;
+  /// Item-domain size (items are ids 0 .. domain-1, id = popularity rank).
+  uint32_t domain = 100000;
+  /// Zipf skew of item popularity.
+  double zipf_s = 0.7;
+  /// Mean cluster size (1 = no near-duplicates); cluster sizes are
+  /// geometric with this mean unless cluster_zipf_exponent is set.
+  double mean_cluster_size = 4.0;
+  /// If > 1, cluster sizes follow a truncated Zipf law with this exponent
+  /// instead of the geometric law — the query-log regime where popular
+  /// queries recur thousands of times (mean_cluster_size is then ignored).
+  double cluster_zipf_exponent = 0.0;
+  /// Truncation for Zipf-tailed cluster sizes.
+  uint32_t max_cluster_size = 1;
+  /// Probability that a cluster member is an exact copy of the seed (the
+  /// same query re-issued) rather than a perturbation.
+  double exact_duplicate_probability = 0.0;
+  /// Maximum number of perturbation operations applied to a near-duplicate
+  /// (the actual count is uniform in [1, max]).
+  uint32_t max_perturb_ops = 3;
+  /// Probability that a perturbation op replaces an item (vs. swapping two
+  /// adjacent ranks).
+  double replace_probability = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Generates a clustered-Zipf collection per the options.
+RankingStore Generate(const GeneratorOptions& options);
+
+/// Preset mimicking the paper's NYT workload properties at laptop scale.
+GeneratorOptions NytLikeOptions(uint32_t n = 60000, uint32_t k = 10,
+                                uint64_t seed = 1);
+
+/// Preset mimicking the paper's Yago workload properties (the paper's
+/// Yago set really is 25k rankings).
+GeneratorOptions YagoLikeOptions(uint32_t n = 25000, uint32_t k = 10,
+                                 uint64_t seed = 2);
+
+/// Draws one duplicate-free ranking of `k` Zipf-distributed items.
+/// Exposed for workload generation and tests.
+void SampleRanking(const ZipfSampler& sampler, uint32_t k, Rng* rng,
+                   std::vector<ItemId>* out);
+
+/// Applies `ops` random perturbation operations in place (swap adjacent
+/// ranks or replace an item with a fresh Zipf draw not already present).
+void Perturb(std::vector<ItemId>* items, const ZipfSampler& sampler,
+             uint32_t ops, double replace_probability, Rng* rng);
+
+}  // namespace topk
+
+#endif  // TOPK_DATA_GENERATOR_H_

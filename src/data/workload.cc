@@ -1,0 +1,88 @@
+#include "data/workload.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "data/dataset_stats.h"
+
+namespace topk {
+
+namespace {
+
+/// Samples items proportionally to their frequency in the store via binary
+/// search over the cumulative frequency table.
+class FrequencySampler {
+ public:
+  explicit FrequencySampler(const RankingStore& store) {
+    const std::vector<uint64_t> freqs = ItemFrequencies(store);
+    cumulative_.reserve(freqs.size());
+    uint64_t acc = 0;
+    for (uint64_t f : freqs) {
+      acc += f;
+      cumulative_.push_back(acc);
+    }
+    total_ = acc;
+  }
+
+  ItemId Sample(Rng* rng) const {
+    const uint64_t u = rng->Below(total_) + 1;
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<ItemId>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<uint64_t> cumulative_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace
+
+std::vector<PreparedQuery> MakeWorkload(const RankingStore& store,
+                                        const WorkloadOptions& options) {
+  TOPK_DCHECK(!store.empty());
+  Rng rng(options.seed);
+  const FrequencySampler sampler(store);
+  const uint32_t k = store.k();
+
+  std::vector<PreparedQuery> queries;
+  queries.reserve(options.num_queries);
+  std::vector<ItemId> items;
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    items.clear();
+    if (rng.NextDouble() < options.perturbed_fraction) {
+      // Perturbed copy of a stored ranking.
+      const auto id = static_cast<RankingId>(rng.Below(store.size()));
+      const auto view = store.view(id);
+      items.assign(view.items().begin(), view.items().end());
+      for (uint32_t op = 0; op < options.perturb_ops; ++op) {
+        if (rng.NextDouble() < 0.5 && k >= 2) {
+          const auto pos = static_cast<uint32_t>(rng.Below(k - 1));
+          std::swap(items[pos], items[pos + 1]);
+        } else {
+          const auto pos = static_cast<uint32_t>(rng.Below(k));
+          for (;;) {
+            const ItemId item = sampler.Sample(&rng);
+            if (std::find(items.begin(), items.end(), item) == items.end()) {
+              items[pos] = item;
+              break;
+            }
+          }
+        }
+      }
+    } else {
+      // Fresh draw from the empirical item distribution.
+      while (items.size() < k) {
+        const ItemId item = sampler.Sample(&rng);
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          items.push_back(item);
+        }
+      }
+    }
+    queries.emplace_back(
+        std::move(Ranking::Create(items)).ValueOrDie());
+  }
+  return queries;
+}
+
+}  // namespace topk

@@ -1,0 +1,35 @@
+// Query workload construction (Section 7 runs 1000 queries per
+// configuration).
+//
+// Queries follow the data distribution, matching both the paper's setup
+// (query-log queries over the same corpus) and the cost model's assumption
+// that query items obey the data's Zipf law. A fraction of the queries are
+// light perturbations of stored rankings (guaranteeing non-empty result
+// sets at small theta, as real repeated queries do); the rest are fresh
+// draws weighted by the store's empirical item frequencies.
+
+#ifndef TOPK_DATA_WORKLOAD_H_
+#define TOPK_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+
+namespace topk {
+
+struct WorkloadOptions {
+  size_t num_queries = 1000;
+  /// Fraction of queries that perturb an existing ranking.
+  double perturbed_fraction = 0.7;
+  /// Perturbation ops for the perturbed queries.
+  uint32_t perturb_ops = 2;
+  uint64_t seed = 99;
+};
+
+std::vector<PreparedQuery> MakeWorkload(const RankingStore& store,
+                                        const WorkloadOptions& options);
+
+}  // namespace topk
+
+#endif  // TOPK_DATA_WORKLOAD_H_

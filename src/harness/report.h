@@ -1,0 +1,36 @@
+// Fixed-width text tables for the bench binaries, which print the same
+// rows/series the paper's figures and tables report.
+
+#ifndef TOPK_HARNESS_REPORT_H_
+#define TOPK_HARNESS_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace topk {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal formatting ("12.34").
+std::string FormatDouble(double value, int precision = 2);
+
+/// Bytes rendered in MB with two decimals.
+std::string FormatMegabytes(size_t bytes);
+
+/// Section banner for bench output.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace topk
+
+#endif  // TOPK_HARNESS_REPORT_H_

@@ -1,0 +1,28 @@
+#include "invidx/augmented_inverted_index.h"
+
+namespace topk {
+
+AugmentedInvertedIndex AugmentedInvertedIndex::Build(
+    const RankingStore& store) {
+  AugmentedInvertedIndex index;
+  index.lists_.resize(static_cast<size_t>(store.max_item()) + 1);
+  index.num_indexed_ = store.size();
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const RankingView v = store.view(id);
+    for (Rank p = 0; p < v.k(); ++p) {
+      index.lists_[v[p]].push_back(AugmentedEntry{id, p});
+    }
+    index.num_entries_ += v.k();
+  }
+  return index;
+}
+
+size_t AugmentedInvertedIndex::MemoryUsage() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<AugmentedEntry>);
+  for (const auto& list : lists_) {
+    bytes += list.capacity() * sizeof(AugmentedEntry);
+  }
+  return bytes;
+}
+
+}  // namespace topk

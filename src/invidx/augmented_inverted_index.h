@@ -1,0 +1,47 @@
+// Rank-augmented inverted index (Section 6.2).
+//
+// Posting entries carry the rank at which the item appears, so a query can
+// compute Footrule contributions directly from the lists without touching
+// the stored rankings. Lists are id-sorted, enabling both the ListMerge
+// merge-join and the NRA-style List-at-a-Time processing.
+
+#ifndef TOPK_INVIDX_AUGMENTED_INVERTED_INDEX_H_
+#define TOPK_INVIDX_AUGMENTED_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace topk {
+
+struct AugmentedEntry {
+  RankingId id;
+  Rank rank;
+};
+
+class AugmentedInvertedIndex {
+ public:
+  static AugmentedInvertedIndex Build(const RankingStore& store);
+
+  /// Id-sorted posting list for `item` (empty if never indexed).
+  std::span<const AugmentedEntry> list(ItemId item) const {
+    if (item >= lists_.size()) return {};
+    return lists_[item];
+  }
+
+  size_t list_length(ItemId item) const { return list(item).size(); }
+  size_t num_indexed() const { return num_indexed_; }
+  size_t num_entries() const { return num_entries_; }
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::vector<AugmentedEntry>> lists_;
+  size_t num_indexed_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_AUGMENTED_INVERTED_INDEX_H_

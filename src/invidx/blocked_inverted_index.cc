@@ -1,0 +1,192 @@
+#include "invidx/blocked_inverted_index.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+#include "core/footrule.h"
+
+namespace topk {
+
+BlockedInvertedIndex BlockedInvertedIndex::Build(const RankingStore& store) {
+  BlockedInvertedIndex index;
+  index.k_ = store.k();
+  index.num_indexed_ = store.size();
+  const size_t num_items = static_cast<size_t>(store.max_item()) + 1;
+  index.lists_.resize(num_items);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const RankingView v = store.view(id);
+    for (Rank p = 0; p < v.k(); ++p) {
+      index.lists_[v[p]].push_back(AugmentedEntry{id, p});
+    }
+  }
+  // Rank-major (then id) order per list; scanning rankings in id order
+  // already yields ids ascending within each rank, so a stable sort by rank
+  // suffices.
+  index.offsets_.assign(num_items * (index.k_ + 1), 0);
+  for (size_t item = 0; item < num_items; ++item) {
+    auto& list = index.lists_[item];
+    std::stable_sort(
+        list.begin(), list.end(),
+        [](const AugmentedEntry& a, const AugmentedEntry& b) {
+          return a.rank < b.rank;
+        });
+    uint32_t* off = &index.offsets_[item * (index.k_ + 1)];
+    size_t pos = 0;
+    for (Rank j = 0; j < index.k_; ++j) {
+      off[j] = static_cast<uint32_t>(pos);
+      while (pos < list.size() && list[pos].rank == j) ++pos;
+    }
+    off[index.k_] = static_cast<uint32_t>(list.size());
+  }
+  return index;
+}
+
+size_t BlockedInvertedIndex::MemoryUsage() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<AugmentedEntry>) +
+                 offsets_.capacity() * sizeof(uint32_t);
+  for (const auto& list : lists_) {
+    bytes += list.capacity() * sizeof(AugmentedEntry);
+  }
+  return bytes;
+}
+
+BlockedEngine::BlockedEngine(const RankingStore* store,
+                             const BlockedInvertedIndex* index,
+                             BlockedOptions options)
+    : store_(store), index_(index), options_(options) {
+  accs_.resize(index_->num_indexed());
+}
+
+std::vector<RankingId> BlockedEngine::Query(const PreparedQuery& query,
+                                            RawDistance theta_raw,
+                                            Statistics* stats) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    for (auto& acc : accs_) acc.epoch = 0;
+    epoch_ = 1;
+  }
+  touched_.clear();
+  const bool use_scheduling =
+      options_.scheduled && options_.drop == DropMode::kNone;
+  return use_scheduling ? QueryScheduled(query, theta_raw, stats)
+                        : QueryWindowed(query, theta_raw, stats);
+}
+
+std::vector<RankingId> BlockedEngine::QueryWindowed(
+    const PreparedQuery& query, RawDistance theta_raw, Statistics* stats) {
+  const uint32_t k = query.k();
+  const RankingView q = query.view();
+  const std::vector<uint32_t> positions =
+      SelectLists(q, theta_raw, options_.drop,
+                  [this](ItemId item) { return index_->list_length(item); },
+                  stats);
+
+  RawDistance processed_absent = 0;  // over processed (kept) lists
+  for (uint32_t t : positions) {
+    // Accessible window: blocks with partial distance |j - t| <= theta.
+    const Rank lo = theta_raw >= t ? 0 : t - static_cast<Rank>(theta_raw);
+    const Rank hi = std::min<RawDistance>(k - 1, t + theta_raw);
+    const auto window = index_->BlockRange(q[t], lo, hi);
+    const size_t skipped = index_->list_length(q[t]) - window.size();
+    AddTicker(stats, Ticker::kPostingEntriesSkipped, skipped);
+    AddTicker(stats, Ticker::kBlocksSkipped, (lo - 0) + (k - 1 - hi));
+
+    for (const AugmentedEntry& entry : window) {
+      AddTicker(stats, Ticker::kPostingEntriesScanned);
+      Accumulator& acc = accs_[entry.id];
+      if (acc.epoch != epoch_) {
+        acc = Accumulator{};
+        acc.epoch = epoch_;
+        touched_.push_back(entry.id);
+      } else if (acc.dead) {
+        continue;
+      }
+      const Rank r = entry.rank;
+      acc.seen_sum += r > t ? r - t : t - r;
+      acc.seen_q_cost += k - t;
+      // Threshold-sound lower bound: a kept processed list the candidate
+      // missed either proves absence (cost k - t') or hides the candidate
+      // in a skipped block (then its true distance already exceeds theta).
+      const RawDistance lower =
+          acc.seen_sum + processed_absent + (k - t) - acc.seen_q_cost;
+      if (lower > theta_raw) {
+        acc.dead = true;
+        AddTicker(stats, Ticker::kPrunedByLowerBound);
+      }
+    }
+    processed_absent += k - t;
+  }
+  return ValidateSurvivors(query, theta_raw, stats);
+}
+
+std::vector<RankingId> BlockedEngine::QueryScheduled(
+    const PreparedQuery& query, RawDistance theta_raw, Statistics* stats) {
+  const uint32_t k = query.k();
+  const RankingView q = query.view();
+  // Cheapest possible distance of a candidate first discovered in round
+  // delta: every common item pays at least delta, and with overlap o the
+  // absence structure pays at least L(k, o).
+  auto min_unseen = [k](RawDistance delta) {
+    RawDistance best = MaxDistance(k);
+    for (uint32_t o = 1; o <= k; ++o) {
+      best = std::min(best, o * delta + MinDistanceForOverlap(k, o));
+    }
+    return best;
+  };
+
+  const RawDistance delta_max =
+      std::min<RawDistance>(theta_raw, k > 0 ? k - 1 : 0);
+  for (RawDistance delta = 0; delta <= delta_max; ++delta) {
+    if (min_unseen(delta) > theta_raw && delta > 0) {
+      // New discoveries are impossible and survivors are validated exactly
+      // anyway: stop scheduling blocks (the paper's early termination).
+      break;
+    }
+    for (Rank t = 0; t < k; ++t) {
+      for (int side = 0; side < 2; ++side) {
+        // Blocks at rank t - delta and t + delta (deduplicated at delta 0).
+        if (delta == 0 && side == 1) continue;
+        const int64_t j64 = side == 0 ? static_cast<int64_t>(t) - delta
+                                      : static_cast<int64_t>(t) + delta;
+        if (j64 < 0 || j64 >= static_cast<int64_t>(k)) continue;
+        const Rank j = static_cast<Rank>(j64);
+        for (const AugmentedEntry& entry : index_->Block(q[t], j)) {
+          AddTicker(stats, Ticker::kPostingEntriesScanned);
+          Accumulator& acc = accs_[entry.id];
+          if (acc.epoch != epoch_) {
+            acc = Accumulator{};
+            acc.epoch = epoch_;
+            touched_.push_back(entry.id);
+          } else if (acc.dead) {
+            continue;
+          }
+          acc.seen_sum += delta;
+          if (acc.seen_sum > theta_raw) {
+            acc.dead = true;
+            AddTicker(stats, Ticker::kPrunedByLowerBound);
+          }
+        }
+      }
+    }
+  }
+  return ValidateSurvivors(query, theta_raw, stats);
+}
+
+std::vector<RankingId> BlockedEngine::ValidateSurvivors(
+    const PreparedQuery& query, RawDistance theta_raw, Statistics* stats) {
+  AddTicker(stats, Ticker::kCandidates, touched_.size());
+  std::vector<RankingId> results;
+  const SortedRankingView qs = query.sorted_view();
+  for (RankingId id : touched_) {
+    if (accs_[id].dead) continue;
+    AddTicker(stats, Ticker::kDistanceCalls);
+    if (FootruleDistance(qs, store_->sorted(id)) <= theta_raw) {
+      results.push_back(id);
+    }
+  }
+  std::sort(results.begin(), results.end());
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+}  // namespace topk

@@ -1,0 +1,111 @@
+// Blocked inverted index (Section 6.3).
+//
+// Each posting list is sorted by rank (then id), so all entries where an
+// item appears at rank j form a contiguous block B_item@j. A secondary
+// directory of k+1 offsets per list addresses blocks directly. A query can
+// then skip blocks whose partial distance |j - q(item)| already exceeds
+// theta without scanning them.
+
+#ifndef TOPK_INVIDX_BLOCKED_INVERTED_INDEX_H_
+#define TOPK_INVIDX_BLOCKED_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "invidx/augmented_inverted_index.h"
+#include "invidx/drop_policy.h"
+
+namespace topk {
+
+class BlockedInvertedIndex {
+ public:
+  static BlockedInvertedIndex Build(const RankingStore& store);
+
+  /// Entries of item's block at rank j (possibly empty).
+  std::span<const AugmentedEntry> Block(ItemId item, Rank j) const {
+    if (item >= lists_.size()) return {};
+    const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+    return std::span<const AugmentedEntry>(lists_[item]).subspan(
+        off[j], off[j + 1] - off[j]);
+  }
+
+  /// Entries of item with rank in [lo, hi] (contiguous by construction).
+  std::span<const AugmentedEntry> BlockRange(ItemId item, Rank lo,
+                                             Rank hi) const {
+    if (item >= lists_.size()) return {};
+    const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+    return std::span<const AugmentedEntry>(lists_[item]).subspan(
+        off[lo], off[hi + 1] - off[lo]);
+  }
+
+  std::span<const AugmentedEntry> list(ItemId item) const {
+    if (item >= lists_.size()) return {};
+    return lists_[item];
+  }
+
+  size_t list_length(ItemId item) const { return list(item).size(); }
+  uint32_t k() const { return k_; }
+  size_t num_indexed() const { return num_indexed_; }
+  size_t MemoryUsage() const;
+
+ private:
+  uint32_t k_ = 0;
+  size_t num_indexed_ = 0;
+  std::vector<std::vector<AugmentedEntry>> lists_;
+  std::vector<uint32_t> offsets_;  // (#items) * (k+1) block directory
+};
+
+struct BlockedOptions {
+  DropMode drop = DropMode::kNone;
+  /// Process blocks in rounds of increasing partial distance delta and stop
+  /// once even an unseen candidate's cheapest completion exceeds theta (the
+  /// paper's "terminate further scheduling of blocks"). Automatically
+  /// disabled under +Drop: dropped lists may hide common items from the
+  /// termination argument (see DESIGN.md).
+  bool scheduled = true;
+};
+
+/// Blocked+Prune / Blocked+Prune+Drop query processing. Surviving
+/// candidates are validated with an exact Footrule call: partial sums over
+/// an index with skipped blocks cannot prove membership, only rule it out.
+class BlockedEngine {
+ public:
+  BlockedEngine(const RankingStore* store, const BlockedInvertedIndex* index,
+                BlockedOptions options = {});
+
+  std::vector<RankingId> Query(const PreparedQuery& query,
+                               RawDistance theta_raw,
+                               Statistics* stats = nullptr);
+
+ private:
+  struct Accumulator {
+    uint32_t epoch = 0;
+    RawDistance seen_sum = 0;
+    RawDistance seen_q_cost = 0;
+    bool dead = false;
+  };
+
+  std::vector<RankingId> QueryWindowed(const PreparedQuery& query,
+                                       RawDistance theta_raw,
+                                       Statistics* stats);
+  std::vector<RankingId> QueryScheduled(const PreparedQuery& query,
+                                        RawDistance theta_raw,
+                                        Statistics* stats);
+  std::vector<RankingId> ValidateSurvivors(const PreparedQuery& query,
+                                           RawDistance theta_raw,
+                                           Statistics* stats);
+
+  const RankingStore* store_;
+  const BlockedInvertedIndex* index_;
+  BlockedOptions options_;
+  std::vector<Accumulator> accs_;
+  std::vector<RankingId> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_BLOCKED_INVERTED_INDEX_H_

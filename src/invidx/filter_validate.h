@@ -1,0 +1,52 @@
+// Filter & Validate (F&V) query processing over the plain inverted index
+// (Section 4), optionally with posting-list dropping (F&V+Drop,
+// Section 6.1).
+//
+// Filtering merges the query items' posting lists into a deduplicated
+// candidate set; validation computes the exact Footrule distance for every
+// candidate. The engine owns per-query scratch (an epoch-stamped visited
+// set), so one instance serves any number of sequential queries without
+// allocation churn.
+
+#ifndef TOPK_INVIDX_FILTER_VALIDATE_H_
+#define TOPK_INVIDX_FILTER_VALIDATE_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "invidx/drop_policy.h"
+#include "invidx/plain_inverted_index.h"
+#include "invidx/visited_set.h"
+
+namespace topk {
+
+struct FilterValidateOptions {
+  DropMode drop = DropMode::kNone;
+};
+
+class FilterValidateEngine {
+ public:
+  /// `store` and `index` must outlive the engine.
+  FilterValidateEngine(const RankingStore* store,
+                       const PlainInvertedIndex* index,
+                       FilterValidateOptions options = {});
+
+  /// All rankings within raw distance `theta_raw` of the query, in
+  /// ascending id order.
+  std::vector<RankingId> Query(const PreparedQuery& query,
+                               RawDistance theta_raw,
+                               Statistics* stats = nullptr);
+
+ private:
+  const RankingStore* store_;
+  const PlainInvertedIndex* index_;
+  FilterValidateOptions options_;
+  VisitedSet visited_;
+  std::vector<RankingId> candidates_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_FILTER_VALIDATE_H_

@@ -1,0 +1,89 @@
+#include "invidx/list_at_a_time.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+
+namespace topk {
+
+ListAtATimeEngine::ListAtATimeEngine(const AugmentedInvertedIndex* index,
+                                     LaatOptions options)
+    : index_(index), options_(options) {
+  accs_.resize(index_->num_indexed());
+}
+
+std::vector<RankingId> ListAtATimeEngine::Query(const PreparedQuery& query,
+                                                RawDistance theta_raw,
+                                                Statistics* stats) {
+  const uint32_t k = query.k();
+  const RankingView q = query.view();
+  const RawDistance half_absent = AbsentSuffixCost(k, 0);  // k(k+1)/2
+  ++epoch_;
+  if (epoch_ == 0) {  // epoch wrapped; reset lazily
+    for (auto& acc : accs_) acc.epoch = 0;
+    epoch_ = 1;
+  }
+  touched_.clear();
+  std::vector<RankingId> results;
+
+  RawDistance processed_absent = 0;  // A(t)
+  for (Rank t = 0; t < k; ++t) {
+    const RawDistance suffix_after = AbsentSuffixCost(k, t + 1);
+    for (const AugmentedEntry& entry : index_->list(q[t])) {
+      AddTicker(stats, Ticker::kPostingEntriesScanned);
+      Accumulator& acc = accs_[entry.id];
+      if (acc.epoch != epoch_) {
+        acc = Accumulator{};
+        acc.epoch = epoch_;
+        touched_.push_back(entry.id);
+      } else if (acc.dead || acc.reported) {
+        continue;
+      }
+      const Rank r = entry.rank;
+      acc.seen_sum += r > t ? r - t : t - r;
+      acc.seen_q_cost += k - t;
+      acc.seen_tau_cover += k - r;
+      ++acc.seen_count;
+
+      // A(t+1) includes this list's absence cost; candidates present in it
+      // already paid via seen_q_cost.
+      const RawDistance absent_known =
+          processed_absent + (k - t) - acc.seen_q_cost;
+      RawDistance lower = acc.seen_sum + absent_known;
+      if (options_.refined_lower_bound) {
+        const RawDistance missed = (t + 1) - acc.seen_count;
+        lower += missed * (missed + 1) / 2;
+      }
+      if (options_.prune_lower_bound && lower > theta_raw) {
+        acc.dead = true;
+        AddTicker(stats, Ticker::kPrunedByLowerBound);
+        continue;
+      }
+      const RawDistance upper = acc.seen_sum + absent_known + suffix_after +
+                                (half_absent - acc.seen_tau_cover);
+      if (options_.accept_upper_bound && upper <= theta_raw) {
+        acc.reported = true;
+        results.push_back(entry.id);
+        AddTicker(stats, Ticker::kAcceptedByUpperBound);
+      }
+    }
+    processed_absent += k - t;
+  }
+  AddTicker(stats, Ticker::kCandidates, touched_.size());
+
+  // Final classification: with all k lists processed the exact distance is
+  // available directly from the accumulator (U(k) in the header).
+  for (RankingId id : touched_) {
+    const Accumulator& acc = accs_[id];
+    if (acc.dead || acc.reported) continue;
+    const RawDistance exact = acc.seen_sum +
+                              (processed_absent - acc.seen_q_cost) +
+                              (half_absent - acc.seen_tau_cover);
+    if (exact <= theta_raw) results.push_back(id);
+  }
+  std::sort(results.begin(), results.end());
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+}  // namespace topk

@@ -1,0 +1,83 @@
+// List-at-a-Time processing with partial-information distance bounds
+// (Section 6.2), in the spirit of Fagin et al.'s NRA.
+//
+// The k rank-augmented posting lists of the query's items are processed
+// one after the other. For a candidate tau seen in a subset of the lists,
+// with S = sum |j - r| over the seen (query rank j, indexed rank r) pairs,
+// A(t) = sum_{j < t} (k - j) the total absence cost of the t processed
+// lists, Q = sum (k - j) over the lists tau appeared in, and
+// C = sum (k - r) over tau's covered positions:
+//
+//   lower bound  L(t) = S + (A(t) - Q)
+//   upper bound  U(t) = L(t) + AbsentSuffixCost(k, t) + (k(k+1)/2 - C)
+//
+// L charges only what is certain: seen mismatches plus the known-absent
+// cost of processed lists tau missed (a fully processed list proves
+// absence). U additionally charges the worst case for the unprocessed
+// query items and for tau's uncovered positions — both computable exactly
+// because rankings are bijections onto 0..k-1. L is monotonically
+// non-decreasing, U non-increasing, and U(k) equals the exact distance, so
+// survivors are classified without ever touching the stored rankings.
+//
+// These bounds deviate from the paper's Section 6.2 formula, whose running
+// example is arithmetically inconsistent (it gives U(tau_6, q) = 24 where
+// no sound bound consistent with its own U(tau_3, q) = 20 can); see
+// DESIGN.md. An optional refinement tightens L further: if tau missed m of
+// the processed lists, at least m of its uncovered positions must hold
+// non-query items, paying at least 1 + 2 + ... + m (the cheapest distinct
+// positions) — enabled by LaatOptions::refined_lower_bound and compared in
+// bench/ablation_bounds.
+
+#ifndef TOPK_INVIDX_LIST_AT_A_TIME_H_
+#define TOPK_INVIDX_LIST_AT_A_TIME_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "invidx/augmented_inverted_index.h"
+
+namespace topk {
+
+struct LaatOptions {
+  /// Evict candidates whose lower bound exceeds theta (Section 6.2).
+  bool prune_lower_bound = true;
+  /// Report candidates early once their upper bound drops to theta,
+  /// removing them from further bookkeeping (Section 6.2).
+  bool accept_upper_bound = true;
+  /// Add the surplus-slot term to the lower bound (extension; see above).
+  bool refined_lower_bound = false;
+};
+
+class ListAtATimeEngine {
+ public:
+  /// `index` must outlive the engine. `num_indexed` bounds candidate ids.
+  ListAtATimeEngine(const AugmentedInvertedIndex* index,
+                    LaatOptions options = {});
+
+  std::vector<RankingId> Query(const PreparedQuery& query,
+                               RawDistance theta_raw,
+                               Statistics* stats = nullptr);
+
+ private:
+  struct Accumulator {
+    uint32_t epoch = 0;
+    RawDistance seen_sum = 0;       // S
+    RawDistance seen_q_cost = 0;    // Q
+    RawDistance seen_tau_cover = 0; // C
+    uint32_t seen_count = 0;
+    bool dead = false;
+    bool reported = false;
+  };
+
+  const AugmentedInvertedIndex* index_;
+  LaatOptions options_;
+  std::vector<Accumulator> accs_;
+  std::vector<RankingId> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_LIST_AT_A_TIME_H_

@@ -1,0 +1,60 @@
+#include "invidx/list_merge.h"
+
+#include <limits>
+
+#include "core/bounds.h"
+
+namespace topk {
+
+std::vector<RankingId> ListMergeEngine::Query(const PreparedQuery& query,
+                                              RawDistance theta_raw,
+                                              Statistics* stats) {
+  const uint32_t k = query.k();
+  const RankingView q = query.view();
+
+  struct Cursor {
+    std::span<const AugmentedEntry> list;
+    size_t pos = 0;
+    Rank query_rank = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(k);
+  for (Rank j = 0; j < k; ++j) {
+    cursors.push_back(Cursor{index_->list(q[j]), 0, j});
+  }
+
+  const RawDistance half_absent = AbsentSuffixCost(k, 0);  // k(k+1)/2
+  std::vector<RankingId> results;
+  // Classic k-way merge: each round processes the smallest ranking id under
+  // any cursor, aggregating all of that ranking's entries at once. k is
+  // tiny, so a linear cursor scan beats a heap.
+  for (;;) {
+    RankingId current = kInvalidRankingId;
+    for (const Cursor& c : cursors) {
+      if (c.pos < c.list.size() && c.list[c.pos].id < current) {
+        current = c.list[c.pos].id;
+      }
+    }
+    if (current == kInvalidRankingId) break;
+
+    RawDistance sum_abs = 0;
+    RawDistance covered = 0;  // sum (k - j) + (k - r) over seen pairs
+    for (Cursor& c : cursors) {
+      if (c.pos < c.list.size() && c.list[c.pos].id == current) {
+        const Rank r = c.list[c.pos].rank;
+        const Rank j = c.query_rank;
+        sum_abs += r > j ? r - j : j - r;
+        covered += (k - j) + (k - r);
+        ++c.pos;
+        AddTicker(stats, Ticker::kPostingEntriesScanned);
+      }
+    }
+    const RawDistance distance = sum_abs + 2 * half_absent - covered;
+    if (distance <= theta_raw) results.push_back(current);
+    AddTicker(stats, Ticker::kCandidates);
+  }
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;  // already id-sorted by the merge order
+}
+
+}  // namespace topk

@@ -1,0 +1,48 @@
+// ListMerge: merge-join of id-sorted, rank-augmented posting lists
+// (Section 7, "Merge of Id-Sorted Lists with Aggregation").
+//
+// Cursors walk the k posting lists of the query's items in ranking-id
+// order; because the lists are id-sorted and duplicate-free, the exact
+// Footrule distance of each encountered ranking can be finalized on the
+// fly with no bookkeeping beyond the ranking currently under the cursors.
+//
+// The on-the-fly finalization uses the bijection identity: for a candidate
+// tau whose common items with the query q were seen at (query rank j,
+// indexed rank r) pairs,
+//
+//   F(tau, q) = sum |j - r|                      (common items)
+//             + [k(k+1)/2 - sum (k - j)]         (query items not in tau)
+//             + [k(k+1)/2 - sum (k - r)]         (tau items not in q)
+//
+// since the absence costs of both sides total k(k+1)/2 minus the covered
+// part. The algorithm is threshold-agnostic: every list is read fully.
+
+#ifndef TOPK_INVIDX_LIST_MERGE_H_
+#define TOPK_INVIDX_LIST_MERGE_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "invidx/augmented_inverted_index.h"
+
+namespace topk {
+
+class ListMergeEngine {
+ public:
+  /// `index` must outlive the engine.
+  explicit ListMergeEngine(const AugmentedInvertedIndex* index)
+      : index_(index) {}
+
+  std::vector<RankingId> Query(const PreparedQuery& query,
+                               RawDistance theta_raw,
+                               Statistics* stats = nullptr);
+
+ private:
+  const AugmentedInvertedIndex* index_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_LIST_MERGE_H_

@@ -1,0 +1,55 @@
+#include "invidx/oracle_index.h"
+
+#include "core/footrule.h"
+
+namespace topk {
+
+OracleIndex OracleIndex::Build(
+    const RankingStore* store,
+    std::vector<std::vector<RankingId>> true_results) {
+  OracleIndex index;
+  index.store_ = store;
+  index.lists_ = std::move(true_results);
+  return index;
+}
+
+OracleIndex OracleIndex::BuildByScan(const RankingStore* store,
+                                     std::span<const PreparedQuery> queries,
+                                     RawDistance theta_raw) {
+  std::vector<std::vector<RankingId>> lists(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const SortedRankingView q = queries[i].sorted_view();
+    for (RankingId id = 0; id < store->size(); ++id) {
+      if (FootruleDistance(q, store->sorted(id)) <= theta_raw) {
+        lists[i].push_back(id);
+      }
+    }
+  }
+  return Build(store, std::move(lists));
+}
+
+std::vector<RankingId> OracleIndex::Query(size_t query_index,
+                                          const PreparedQuery& query,
+                                          RawDistance theta_raw,
+                                          Statistics* stats) const {
+  TOPK_DCHECK(query_index < lists_.size());
+  const SortedRankingView q = query.sorted_view();
+  std::vector<RankingId> results;
+  results.reserve(lists_[query_index].size());
+  for (RankingId id : lists_[query_index]) {
+    AddTicker(stats, Ticker::kDistanceCalls);
+    if (FootruleDistance(q, store_->sorted(id)) <= theta_raw) {
+      results.push_back(id);
+    }
+  }
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+size_t OracleIndex::MemoryUsage() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<RankingId>);
+  for (const auto& list : lists_) bytes += list.capacity() * sizeof(RankingId);
+  return bytes;
+}
+
+}  // namespace topk

@@ -1,0 +1,49 @@
+// Minimal F&V oracle (Section 7, "Algorithms under Investigation").
+//
+// For each workload query the oracle has a single materialized posting list
+// containing exactly the true result rankings for the query's threshold.
+// Query processing is one lookup plus one Footrule evaluation per true
+// result — the paper uses its runtime as a lower bound for every
+// filter-and-validate style algorithm.
+
+#ifndef TOPK_INVIDX_ORACLE_INDEX_H_
+#define TOPK_INVIDX_ORACLE_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+
+namespace topk {
+
+class OracleIndex {
+ public:
+  /// Builds from precomputed per-query true-result lists (any exact
+  /// algorithm may produce them; they are what would be materialized).
+  static OracleIndex Build(const RankingStore* store,
+                           std::vector<std::vector<RankingId>> true_results);
+
+  /// Builds by brute-force scanning the store for each query.
+  static OracleIndex BuildByScan(const RankingStore* store,
+                                 std::span<const PreparedQuery> queries,
+                                 RawDistance theta_raw);
+
+  /// Processes workload query `query_index`: validates each materialized
+  /// ranking with a Footrule call, as the paper's cost accounting demands.
+  std::vector<RankingId> Query(size_t query_index, const PreparedQuery& query,
+                               RawDistance theta_raw,
+                               Statistics* stats = nullptr) const;
+
+  size_t num_queries() const { return lists_.size(); }
+  size_t MemoryUsage() const;
+
+ private:
+  const RankingStore* store_ = nullptr;
+  std::vector<std::vector<RankingId>> lists_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_ORACLE_INDEX_H_

@@ -1,0 +1,44 @@
+#include "invidx/plain_inverted_index.h"
+
+#include <numeric>
+
+namespace topk {
+
+PlainInvertedIndex PlainInvertedIndex::Build(const RankingStore& store) {
+  std::vector<RankingId> all(store.size());
+  std::iota(all.begin(), all.end(), 0);
+  return BuildImpl(store, all, /*use_subset_positions=*/false);
+}
+
+PlainInvertedIndex PlainInvertedIndex::BuildSubset(
+    const RankingStore& store, std::span<const RankingId> subset) {
+  return BuildImpl(store, subset, /*use_subset_positions=*/true);
+}
+
+PlainInvertedIndex PlainInvertedIndex::BuildImpl(
+    const RankingStore& store, std::span<const RankingId> subset,
+    bool use_subset_positions) {
+  PlainInvertedIndex index;
+  index.lists_.resize(static_cast<size_t>(store.max_item()) + 1);
+  index.num_indexed_ = subset.size();
+  for (size_t pos = 0; pos < subset.size(); ++pos) {
+    const RankingView v = store.view(subset[pos]);
+    const RankingId entry =
+        use_subset_positions ? static_cast<RankingId>(pos) : subset[pos];
+    for (ItemId item : v.items()) {
+      index.lists_[item].push_back(entry);
+    }
+    index.num_entries_ += v.k();
+  }
+  return index;
+}
+
+size_t PlainInvertedIndex::MemoryUsage() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<RankingId>);
+  for (const auto& list : lists_) {
+    bytes += list.capacity() * sizeof(RankingId);
+  }
+  return bytes;
+}
+
+}  // namespace topk

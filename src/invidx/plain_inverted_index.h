@@ -1,0 +1,61 @@
+// Plain inverted index over rankings-as-sets (Section 4 of the paper).
+//
+// For every item, the index keeps the id-sorted list of rankings containing
+// it. This is the filtering workhorse of the F&V family: merging the k
+// posting lists of a query's items yields every ranking that overlaps the
+// query at all (non-overlapping rankings are at distance dmax and can never
+// qualify for theta < dmax).
+
+#ifndef TOPK_INVIDX_PLAIN_INVERTED_INDEX_H_
+#define TOPK_INVIDX_PLAIN_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace topk {
+
+class PlainInvertedIndex {
+ public:
+  /// Indexes every ranking in `store`. Posting lists come out id-sorted
+  /// because rankings are scanned in id order.
+  static PlainInvertedIndex Build(const RankingStore& store);
+
+  /// Indexes only `subset`; posting entries are *positions within subset*
+  /// (0-based), not global ranking ids. The coarse index uses this to index
+  /// medoids under their partition number.
+  static PlainInvertedIndex BuildSubset(const RankingStore& store,
+                                        std::span<const RankingId> subset);
+
+  /// Posting list for `item`; empty for items never indexed.
+  std::span<const RankingId> list(ItemId item) const {
+    if (item >= lists_.size()) return {};
+    return lists_[item];
+  }
+
+  size_t list_length(ItemId item) const { return list(item).size(); }
+
+  /// Number of indexed rankings (candidate ids are < this).
+  size_t num_indexed() const { return num_indexed_; }
+
+  /// Total posting entries across all lists.
+  size_t num_entries() const { return num_entries_; }
+
+  /// Heap bytes (posting storage + directory), for Table 6 reporting.
+  size_t MemoryUsage() const;
+
+ private:
+  static PlainInvertedIndex BuildImpl(const RankingStore& store,
+                                      std::span<const RankingId> subset,
+                                      bool use_subset_positions);
+
+  std::vector<std::vector<RankingId>> lists_;
+  size_t num_indexed_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_PLAIN_INVERTED_INDEX_H_

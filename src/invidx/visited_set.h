@@ -1,0 +1,58 @@
+// Epoch-stamped membership set over dense ids.
+//
+// The classical database trick for per-query candidate deduplication:
+// instead of clearing an n-bit bitmap before every query, each query bumps
+// an epoch counter and a slot counts as "set" only when its stamp equals
+// the current epoch. Reset is O(1); memory is 4 bytes per possible id.
+
+#ifndef TOPK_INVIDX_VISITED_SET_H_
+#define TOPK_INVIDX_VISITED_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace topk {
+
+class VisitedSet {
+ public:
+  explicit VisitedSet(size_t capacity) : stamps_(capacity, 0) {}
+
+  /// Starts a fresh membership set; all slots become unset.
+  void NextEpoch() {
+    if (++epoch_ == 0) {  // wrapped: lazily clear and restart
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Grows capacity (ids must stay below capacity).
+  void EnsureCapacity(size_t capacity) {
+    if (capacity > stamps_.size()) stamps_.resize(capacity, 0);
+  }
+
+  bool Test(uint32_t id) const {
+    TOPK_DCHECK(id < stamps_.size());
+    return stamps_[id] == epoch_;
+  }
+
+  /// Returns whether `id` was already set, setting it either way.
+  bool TestAndSet(uint32_t id) {
+    TOPK_DCHECK(id < stamps_.size());
+    if (stamps_[id] == epoch_) return true;
+    stamps_[id] = epoch_;
+    return false;
+  }
+
+  size_t capacity() const { return stamps_.size(); }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_INVIDX_VISITED_SET_H_

@@ -1,0 +1,212 @@
+#include "io/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace topk {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544f504bu;  // "TOPK"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kKindRankingStore = 1;
+constexpr uint32_t kKindPartitioning = 2;
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Little append-only byte buffer with typed writes.
+class Writer {
+ public:
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+  template <typename T>
+  void PutSpan(std::span<const T> values) {
+    const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+    buffer_.insert(buffer_.end(), bytes, bytes + values.size() * sizeof(T));
+  }
+
+  Status WriteFile(const std::string& path, uint32_t kind) const {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+        std::fopen(path.c_str(), "wb"), &std::fclose);
+    if (file == nullptr) {
+      return Status::InvalidArgument("cannot open for writing: " + path);
+    }
+    const uint32_t header[3] = {kMagic, kVersion, kind};
+    const uint64_t payload_size = buffer_.size();
+    const uint64_t checksum = Fnv1a(buffer_.data(), buffer_.size());
+    if (std::fwrite(header, sizeof(header), 1, file.get()) != 1 ||
+        std::fwrite(&payload_size, sizeof(payload_size), 1, file.get()) !=
+            1 ||
+        std::fwrite(&checksum, sizeof(checksum), 1, file.get()) != 1 ||
+        (payload_size > 0 &&
+         std::fwrite(buffer_.data(), buffer_.size(), 1, file.get()) != 1)) {
+      return Status::InvalidArgument("short write: " + path);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Validated payload reader.
+class Reader {
+ public:
+  static Result<Reader> Open(const std::string& path, uint32_t kind) {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (file == nullptr) {
+      return Status::NotFound("cannot open: " + path);
+    }
+    uint32_t header[3];
+    uint64_t payload_size = 0;
+    uint64_t checksum = 0;
+    if (std::fread(header, sizeof(header), 1, file.get()) != 1 ||
+        std::fread(&payload_size, sizeof(payload_size), 1, file.get()) !=
+            1 ||
+        std::fread(&checksum, sizeof(checksum), 1, file.get()) != 1) {
+      return Status::InvalidArgument("truncated header: " + path);
+    }
+    if (header[0] != kMagic) {
+      return Status::InvalidArgument("bad magic (not a topk file): " + path);
+    }
+    if (header[1] != kVersion) {
+      return Status::InvalidArgument("unsupported format version in " +
+                                     path);
+    }
+    if (header[2] != kind) {
+      return Status::InvalidArgument("wrong payload kind in " + path);
+    }
+    Reader reader;
+    reader.buffer_.resize(payload_size);
+    if (payload_size > 0 &&
+        std::fread(reader.buffer_.data(), payload_size, 1, file.get()) !=
+            1) {
+      return Status::InvalidArgument("truncated payload: " + path);
+    }
+    if (Fnv1a(reader.buffer_.data(), reader.buffer_.size()) != checksum) {
+      return Status::InvalidArgument("checksum mismatch (corrupt file): " +
+                                     path);
+    }
+    return reader;
+  }
+
+  template <typename T>
+  Result<T> Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (position_ + sizeof(T) > buffer_.size()) {
+      return Status::InvalidArgument("payload underrun");
+    }
+    T value;
+    std::memcpy(&value, buffer_.data() + position_, sizeof(T));
+    position_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  Status GetInto(std::vector<T>* out, size_t count) {
+    if (position_ + count * sizeof(T) > buffer_.size()) {
+      return Status::InvalidArgument("payload underrun");
+    }
+    out->resize(count);
+    std::memcpy(out->data(), buffer_.data() + position_, count * sizeof(T));
+    position_ += count * sizeof(T);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+Status SaveRankingStore(const RankingStore& store, const std::string& path) {
+  Writer writer;
+  writer.Put<uint32_t>(store.k());
+  writer.Put<uint64_t>(store.size());
+  for (RankingId id = 0; id < store.size(); ++id) {
+    writer.PutSpan(store.view(id).items());
+  }
+  return writer.WriteFile(path, kKindRankingStore);
+}
+
+Result<RankingStore> LoadRankingStore(const std::string& path) {
+  auto reader = Reader::Open(path, kKindRankingStore);
+  if (!reader.ok()) return reader.status();
+  auto k = reader.value().Get<uint32_t>();
+  if (!k.ok()) return k.status();
+  if (k.value() == 0) {
+    return Status::InvalidArgument("stored k must be positive");
+  }
+  auto n = reader.value().Get<uint64_t>();
+  if (!n.ok()) return n.status();
+
+  RankingStore store(k.value());
+  std::vector<ItemId> row;
+  for (uint64_t i = 0; i < n.value(); ++i) {
+    Status status = reader.value().GetInto(&row, k.value());
+    if (!status.ok()) return status;
+    auto added = store.Add(row);  // validated path: rejects corrupt rows
+    if (!added.ok()) return added.status();
+  }
+  return store;
+}
+
+Status SavePartitioning(const Partitioning& partitioning,
+                        const std::string& path) {
+  Writer writer;
+  writer.Put<uint64_t>(partitioning.partitions.size());
+  for (const Partition& p : partitioning.partitions) {
+    writer.Put<RankingId>(p.medoid);
+    writer.Put<RawDistance>(p.radius);
+    writer.Put<uint64_t>(p.members.size());
+    writer.PutSpan<RankingId>(p.members);
+  }
+  return writer.WriteFile(path, kKindPartitioning);
+}
+
+Result<Partitioning> LoadPartitioning(const std::string& path) {
+  auto reader = Reader::Open(path, kKindPartitioning);
+  if (!reader.ok()) return reader.status();
+  auto count = reader.value().Get<uint64_t>();
+  if (!count.ok()) return count.status();
+
+  Partitioning partitioning;
+  partitioning.partitions.reserve(count.value());
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    Partition p;
+    auto medoid = reader.value().Get<RankingId>();
+    if (!medoid.ok()) return medoid.status();
+    p.medoid = medoid.value();
+    auto radius = reader.value().Get<RawDistance>();
+    if (!radius.ok()) return radius.status();
+    p.radius = radius.value();
+    auto members = reader.value().Get<uint64_t>();
+    if (!members.ok()) return members.status();
+    Status status = reader.value().GetInto(&p.members, members.value());
+    if (!status.ok()) return status;
+    if (p.members.empty() || p.members.front() != p.medoid) {
+      return Status::InvalidArgument(
+          "partition invariant violated (medoid must lead members)");
+    }
+    partitioning.partitions.push_back(std::move(p));
+  }
+  return partitioning;
+}
+
+}  // namespace topk

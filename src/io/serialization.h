@@ -1,0 +1,35 @@
+// Binary persistence for the expensive-to-build artifacts: the ranking
+// collection itself and a coarse-index partitioning.
+//
+// The inverted indexes rebuild from a store in milliseconds, so only the
+// dataset (the ground truth) and the partitioning (the product of the
+// distance-heavy clustering pass) are worth a disk format. A loaded
+// partitioning is handed to CoarseIndex::BuildFromPartitioning, which
+// rebuilds the per-partition BK-trees and medoid index deterministically.
+//
+// Format: magic, format version, payload sections, and an FNV-1a checksum
+// over the payload — loads fail with a descriptive Status on a bad magic,
+// version skew, truncation, or corruption. Files are written in the host
+// byte order (this is cache persistence, not an interchange format).
+
+#ifndef TOPK_IO_SERIALIZATION_H_
+#define TOPK_IO_SERIALIZATION_H_
+
+#include <string>
+
+#include "cluster/partitioner.h"
+#include "core/ranking.h"
+#include "core/status.h"
+
+namespace topk {
+
+Status SaveRankingStore(const RankingStore& store, const std::string& path);
+Result<RankingStore> LoadRankingStore(const std::string& path);
+
+Status SavePartitioning(const Partitioning& partitioning,
+                        const std::string& path);
+Result<Partitioning> LoadPartitioning(const std::string& path);
+
+}  // namespace topk
+
+#endif  // TOPK_IO_SERIALIZATION_H_

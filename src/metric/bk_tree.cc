@@ -1,0 +1,121 @@
+#include "metric/bk_tree.h"
+
+#include <algorithm>
+
+#include "core/footrule.h"
+
+namespace topk {
+
+BkTree BkTree::Build(const RankingStore* store, std::span<const RankingId> ids,
+                     Statistics* stats, BkTreeOptions options) {
+  BkTree tree(store, options);
+  tree.nodes_.reserve(ids.size());
+  for (RankingId id : ids) tree.Insert(id, stats);
+  return tree;
+}
+
+BkTree BkTree::BuildAll(const RankingStore* store, Statistics* stats,
+                        BkTreeOptions options) {
+  BkTree tree(store, options);
+  tree.nodes_.reserve(store->size());
+  for (RankingId id = 0; id < store->size(); ++id) tree.Insert(id, stats);
+  return tree;
+}
+
+void BkTree::Insert(RankingId id, Statistics* stats) {
+  if (nodes_.empty()) {
+    nodes_.push_back(Node{id, 0, kNoNode, kNoNode});
+    return;
+  }
+  const SortedRankingView inserted = store_->sorted(id);
+  uint32_t current = 0;
+  // Once a distance of 0 is observed the new ranking is *identical* to
+  // the current node (the metric is regular), so every node further down
+  // the 0-edge chain is identical too: descend without recomputing.
+  bool known_zero = false;
+  for (;;) {
+    RawDistance d = 0;
+    if (!known_zero) {
+      AddTicker(stats, Ticker::kDistanceCalls);
+      d = FootruleDistance(inserted, store_->sorted(nodes_[current].id));
+      known_zero = d == 0;
+    }
+    // Find the child whose edge label equals d; descend if present.
+    uint32_t child = nodes_[current].first_child;
+    uint32_t found = kNoNode;
+    while (child != kNoNode) {
+      if (nodes_[child].parent_dist == d) {
+        found = child;
+        break;
+      }
+      child = nodes_[child].next_sibling;
+    }
+    if (found != kNoNode) {
+      current = found;
+      continue;
+    }
+    const auto new_index = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{id, d, kNoNode, nodes_[current].first_child});
+    nodes_[current].first_child = new_index;
+    return;
+  }
+}
+
+void BkTree::RangeQueryInto(SortedRankingView query, RawDistance theta_raw,
+                            Statistics* stats,
+                            std::vector<RankingId>* out) const {
+  if (nodes_.empty()) return;
+  AddTicker(stats, Ticker::kDistanceCalls);
+  const RawDistance root_dist =
+      FootruleDistance(query, store_->sorted(nodes_[0].id));
+  QueryNode(query, theta_raw, 0, root_dist, stats, out);
+}
+
+std::vector<RankingId> BkTree::RangeQuery(SortedRankingView query,
+                                          RawDistance theta_raw,
+                                          Statistics* stats) const {
+  std::vector<RankingId> out;
+  RangeQueryInto(query, theta_raw, stats, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BkTree::RangeQueryWithRootDistance(SortedRankingView query,
+                                        RawDistance theta_raw,
+                                        RawDistance root_dist,
+                                        Statistics* stats,
+                                        std::vector<RankingId>* out) const {
+  if (nodes_.empty()) return;
+  QueryNode(query, theta_raw, 0, root_dist, stats, out);
+}
+
+void BkTree::QueryNode(SortedRankingView query, RawDistance theta_raw,
+                       uint32_t node_index, RawDistance node_dist,
+                       Statistics* stats, std::vector<RankingId>* out) const {
+  AddTicker(stats, Ticker::kTreeNodesVisited);
+  const Node& node = nodes_[node_index];
+  if (node_dist <= theta_raw) out->push_back(node.id);
+
+  // A child at edge distance e can contain matches only if
+  // |node_dist - e| <= theta (triangle inequality on the discrete metric).
+  for (uint32_t child = node.first_child; child != kNoNode;
+       child = nodes_[child].next_sibling) {
+    const RawDistance e = nodes_[child].parent_dist;
+    const RawDistance gap = e > node_dist ? e - node_dist : node_dist - e;
+    if (gap > theta_raw) continue;
+    if (e == 0 && options_.reuse_duplicate_distances) {
+      // A 0-edge child is an identical ranking: its query distance equals
+      // the parent's, no Footrule call needed. This is the paper's
+      // "exact matching rankings in one partition" effect that lets the
+      // coarse index undercut even the Minimal F&V oracle in Figure 10.
+      QueryNode(query, theta_raw, child, node_dist, stats, out);
+      continue;
+    }
+    AddTicker(stats, Ticker::kDistanceCalls);
+    const RawDistance child_dist =
+        FootruleDistance(query, store_->sorted(nodes_[child].id));
+    QueryNode(query, theta_raw, child, child_dist, stats, out);
+  }
+}
+
+}  // namespace topk

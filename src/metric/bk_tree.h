@@ -1,0 +1,98 @@
+// Burkhard-Keller tree over the discrete Footrule metric (Section 4.1).
+//
+// Every node holds one ranking; a child subtree groups all descendants at
+// one specific raw distance from its parent. Range queries descend into a
+// child with edge distance e only when |d(query, node) - e| <= theta, by
+// the triangle inequality.
+//
+// Nodes are kept in one flat vector using first-child/next-sibling links —
+// no per-node maps, cache-friendly traversal, trivially serializable. The
+// coarse index additionally uses the tree's structure to carve partitions
+// (see cluster/bk_partitioner).
+
+#ifndef TOPK_METRIC_BK_TREE_H_
+#define TOPK_METRIC_BK_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+
+namespace topk {
+
+struct BkTreeOptions {
+  /// Reuse the parent's query distance for 0-edge children (identical
+  /// rankings) instead of recomputing it. Strictly beneficial and always
+  /// sound (the metric is regular), so it defaults to on; the Figure 5/6
+  /// benches disable it to stay faithful to the paper's baseline BK-tree,
+  /// which is implemented straight from Burkhard-Keller without the trick
+  /// (the paper only applies it inside the coarse index's partitions).
+  bool reuse_duplicate_distances = true;
+};
+
+class BkTree {
+ public:
+  static constexpr uint32_t kNoNode = 0xffffffffu;
+
+  struct Node {
+    RankingId id;
+    RawDistance parent_dist;  // edge label; 0 for the root
+    uint32_t first_child = kNoNode;
+    uint32_t next_sibling = kNoNode;
+  };
+
+  /// `store` must outlive the tree.
+  explicit BkTree(const RankingStore* store, BkTreeOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Builds by inserting `ids` in order (the paper's construction; the
+  /// tree shape depends on insertion order). Distance computations during
+  /// construction are tallied into `stats` if given.
+  static BkTree Build(const RankingStore* store,
+                      std::span<const RankingId> ids,
+                      Statistics* stats = nullptr,
+                      BkTreeOptions options = {});
+
+  /// Builds over the entire store.
+  static BkTree BuildAll(const RankingStore* store,
+                         Statistics* stats = nullptr,
+                         BkTreeOptions options = {});
+
+  void Insert(RankingId id, Statistics* stats = nullptr);
+
+  /// Appends all rankings within `theta_raw` of the query to `out`.
+  void RangeQueryInto(SortedRankingView query, RawDistance theta_raw,
+                      Statistics* stats, std::vector<RankingId>* out) const;
+
+  std::vector<RankingId> RangeQuery(SortedRankingView query,
+                                    RawDistance theta_raw,
+                                    Statistics* stats = nullptr) const;
+
+  /// Range query when d(query, root) is already known — the coarse index
+  /// computes medoid distances during filtering and must not pay twice.
+  void RangeQueryWithRootDistance(SortedRankingView query,
+                                  RawDistance theta_raw,
+                                  RawDistance root_dist, Statistics* stats,
+                                  std::vector<RankingId>* out) const;
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const RankingStore& store() const { return *store_; }
+  size_t MemoryUsage() const { return nodes_.capacity() * sizeof(Node); }
+
+ private:
+  void QueryNode(SortedRankingView query, RawDistance theta_raw,
+                 uint32_t node_index, RawDistance node_dist,
+                 Statistics* stats, std::vector<RankingId>* out) const;
+
+  const RankingStore* store_;
+  BkTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_METRIC_BK_TREE_H_

@@ -1,0 +1,23 @@
+#include "metric/linear_scan.h"
+
+#include "core/footrule.h"
+
+namespace topk {
+
+std::vector<RankingId> LinearScanQuery(const RankingStore& store,
+                                       const PreparedQuery& query,
+                                       RawDistance theta_raw,
+                                       Statistics* stats) {
+  std::vector<RankingId> results;
+  const SortedRankingView q = query.sorted_view();
+  for (RankingId id = 0; id < store.size(); ++id) {
+    AddTicker(stats, Ticker::kDistanceCalls);
+    if (FootruleDistance(q, store.sorted(id)) <= theta_raw) {
+      results.push_back(id);
+    }
+  }
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+}  // namespace topk

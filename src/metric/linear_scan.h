@@ -1,0 +1,25 @@
+// Brute-force range search over the whole store.
+//
+// The exhaustive baseline; every other algorithm's result set is tested
+// for equality against this one, and it bootstraps the Minimal F&V oracle.
+
+#ifndef TOPK_METRIC_LINEAR_SCAN_H_
+#define TOPK_METRIC_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+
+namespace topk {
+
+/// All rankings within raw distance `theta_raw` of the query, ascending id.
+std::vector<RankingId> LinearScanQuery(const RankingStore& store,
+                                       const PreparedQuery& query,
+                                       RawDistance theta_raw,
+                                       Statistics* stats = nullptr);
+
+}  // namespace topk
+
+#endif  // TOPK_METRIC_LINEAR_SCAN_H_

@@ -1,0 +1,131 @@
+// AdaptSearch and the delta inverted index: global-order structure,
+// prefix-filter exactness, and the adaptive prefix-length selection.
+
+#include "adapt/adapt_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "data/dataset_stats.h"
+#include "invidx/filter_validate.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+TEST(DeltaIndexTest, GlobalOrderIsAscendingFrequency) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 151);
+  const DeltaInvertedIndex index = DeltaInvertedIndex::Build(store);
+  const std::vector<uint64_t> freqs = ItemFrequencies(store);
+  // If OrderOf(a) < OrderOf(b) then freq(a) <= freq(b).
+  for (ItemId a = 0; a < freqs.size(); a += 17) {
+    for (ItemId b = 0; b < freqs.size(); b += 23) {
+      if (index.OrderOf(a) < index.OrderOf(b)) {
+        EXPECT_LE(freqs[a], freqs[b]);
+      }
+    }
+  }
+}
+
+TEST(DeltaIndexTest, EntriesEncodeSortedPositions) {
+  const RankingStore store = testutil::MakeClusteredStore(8, 500, 152);
+  const DeltaInvertedIndex index = DeltaInvertedIndex::Build(store);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const auto sorted = index.SortByGlobalOrder(store.view(id));
+    for (uint32_t pos = 0; pos < sorted.size(); ++pos) {
+      // The (item, pos) entry must exist for this record.
+      bool found = false;
+      for (const AugmentedEntry& entry : index.list(sorted[pos])) {
+        if (entry.id == id && entry.rank == pos) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "record " << id << " missing at pos " << pos;
+    }
+  }
+}
+
+TEST(DeltaIndexTest, PrefixIsMonotoneInLength) {
+  const RankingStore store = testutil::MakeClusteredStore(8, 500, 153);
+  const DeltaInvertedIndex index = DeltaInvertedIndex::Build(store);
+  for (ItemId item = 0; item <= store.max_item(); item += 11) {
+    size_t previous = 0;
+    for (uint32_t len = 0; len <= 8; ++len) {
+      const size_t size = index.Prefix(item, len).size();
+      EXPECT_GE(size, previous);
+      previous = size;
+    }
+    EXPECT_EQ(previous, index.list(item).size());
+  }
+}
+
+class AdaptSearchEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double>> {};
+
+TEST_P(AdaptSearchEquivalenceTest, MatchesBruteForce) {
+  const auto [k, theta] = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(k, 1200, 154 + k);
+  const DeltaInvertedIndex index = DeltaInvertedIndex::Build(store);
+  AdaptSearchEngine engine(&store, &index);
+  const auto queries = testutil::MakeQueries(store, 25, 155);
+  const RawDistance theta_raw = RawThreshold(theta, k);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(engine.Query(query, theta_raw),
+              testutil::BruteForce(store, query, theta_raw))
+        << "k=" << k << " theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptSearchEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u, 20u),
+                       ::testing::Values(0.0, 0.1, 0.2, 0.3)));
+
+TEST(AdaptSearchTest, ChooseEllWithinValidRange) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 1000, 156);
+  const DeltaInvertedIndex index = DeltaInvertedIndex::Build(store);
+  AdaptSearchEngine engine(&store, &index);
+  const auto queries = testutil::MakeQueries(store, 20, 157);
+  for (double theta : {0.0, 0.1, 0.2, 0.3}) {
+    const RawDistance theta_raw = RawThreshold(theta, 10);
+    const uint32_t c = MinOverlap(10, theta_raw);
+    for (const auto& query : queries) {
+      const uint32_t ell = engine.ChooseEll(query, theta_raw);
+      EXPECT_GE(ell, 1u);
+      EXPECT_LE(ell, std::max(1u, c));
+    }
+  }
+}
+
+TEST(AdaptSearchTest, PrefixFilterScansLessThanFullFv) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 3000, 158);
+  const DeltaInvertedIndex delta = DeltaInvertedIndex::Build(store);
+  const PlainInvertedIndex plain = PlainInvertedIndex::Build(store);
+  AdaptSearchEngine adapt(&store, &delta);
+  FilterValidateEngine fv(&store, &plain);
+
+  const auto queries = testutil::MakeQueries(store, 20, 159);
+  Statistics adapt_stats;
+  Statistics fv_stats;
+  const RawDistance theta_raw = RawThreshold(0.1, 10);
+  for (const auto& query : queries) {
+    adapt.Query(query, theta_raw, &adapt_stats);
+    fv.Query(query, theta_raw, &fv_stats);
+  }
+  EXPECT_LT(adapt_stats.Get(Ticker::kPostingEntriesScanned),
+            fv_stats.Get(Ticker::kPostingEntriesScanned));
+}
+
+TEST(AdaptSearchTest, HandlesQueryWithUnseenItems) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 300, 160);
+  const DeltaInvertedIndex index = DeltaInvertedIndex::Build(store);
+  AdaptSearchEngine engine(&store, &index);
+  PreparedQuery query(std::move(Ranking::Create(
+                          {1000000, 1000001, 1000002, 1000003, 1000004}))
+                          .ValueOrDie());
+  EXPECT_TRUE(engine.Query(query, RawThreshold(0.3, 5)).empty());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,165 @@
+// Partitioners: full coverage, radius guarantees per mode, and the
+// medoid-count behaviour the cost model relies on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/bk_partitioner.h"
+#include "cluster/cn_partitioner.h"
+#include "core/footrule.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+void CheckCoverage(const Partitioning& partitioning, size_t n) {
+  std::set<RankingId> seen;
+  for (const Partition& p : partitioning.partitions) {
+    ASSERT_FALSE(p.members.empty());
+    EXPECT_EQ(p.members.front(), p.medoid)
+        << "medoid must lead its member list";
+    for (RankingId id : p.members) {
+      EXPECT_TRUE(seen.insert(id).second)
+          << "ranking " << id << " assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), n) << "some rankings left unassigned";
+}
+
+void CheckRadiusIsUpperBound(const RankingStore& store,
+                             const Partitioning& partitioning) {
+  for (const Partition& p : partitioning.partitions) {
+    for (RankingId id : p.members) {
+      EXPECT_LE(FootruleDistance(store.sorted(p.medoid), store.sorted(id)),
+                p.radius)
+          << "recorded radius does not cover member " << id;
+    }
+  }
+}
+
+TEST(BkPartitionerStrictTest, CoverageAndRadiusWithinThetaC) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 1500, 121);
+  for (double theta_c : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+    const RawDistance raw = RawThreshold(theta_c, 10);
+    const Partitioning partitioning =
+        BkPartition(store, raw, BkPartitionMode::kStrict);
+    CheckCoverage(partitioning, store.size());
+    CheckRadiusIsUpperBound(store, partitioning);
+    for (const Partition& p : partitioning.partitions) {
+      EXPECT_LE(p.radius, raw) << "strict mode must respect theta_C";
+    }
+  }
+}
+
+TEST(BkPartitionerSubtreeTest, CoverageAndRadiusBound) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 1500, 122);
+  for (double theta_c : {0.1, 0.3, 0.5}) {
+    const RawDistance raw = RawThreshold(theta_c, 10);
+    const Partitioning partitioning =
+        BkPartition(store, raw, BkPartitionMode::kSubtree);
+    CheckCoverage(partitioning, store.size());
+    // Subtree mode's radius is a path-sum bound: it must still dominate
+    // the true member distances even when those exceed theta_C.
+    CheckRadiusIsUpperBound(store, partitioning);
+  }
+}
+
+TEST(BkPartitionerSubtreeTest, CanExceedThetaCButStaysBounded) {
+  // The documented deviation: subtree adoption can pull in members whose
+  // true distance exceeds theta_C. Whether it happens depends on data;
+  // what must always hold is radius >= true distance (checked above) and
+  // radius <= depth * theta_C in the worst path.
+  const RankingStore store = testutil::MakeClusteredStore(8, 2000, 123);
+  const RawDistance raw = RawThreshold(0.2, 8);
+  const Partitioning partitioning =
+      BkPartition(store, raw, BkPartitionMode::kSubtree);
+  CheckCoverage(partitioning, store.size());
+}
+
+TEST(CnPartitionerTest, CoverageAndStrictRadius) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 1000, 124);
+  Rng rng(5);
+  for (double theta_c : {0.0, 0.2, 0.5}) {
+    const RawDistance raw = RawThreshold(theta_c, 10);
+    Rng local(rng.Next());
+    const Partitioning partitioning = CnPartition(store, raw, &local);
+    CheckCoverage(partitioning, store.size());
+    CheckRadiusIsUpperBound(store, partitioning);
+    for (const Partition& p : partitioning.partitions) {
+      EXPECT_LE(p.radius, raw);
+    }
+  }
+}
+
+TEST(PartitionerTest, ThetaCZeroGroupsOnlyDuplicates) {
+  RankingStore store(5);
+  const ItemId a[] = {1, 2, 3, 4, 5};
+  const ItemId b[] = {9, 8, 7, 6, 5};
+  store.AddUnchecked(a);
+  store.AddUnchecked(a);
+  store.AddUnchecked(b);
+  store.AddUnchecked(a);
+
+  const Partitioning bk = BkPartition(store, 0, BkPartitionMode::kStrict);
+  EXPECT_EQ(bk.partitions.size(), 2u);
+
+  Rng rng(6);
+  const Partitioning cn = CnPartition(store, 0, &rng);
+  EXPECT_EQ(cn.partitions.size(), 2u);
+}
+
+TEST(PartitionerTest, ThetaCMaxYieldsOnePartition) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 200, 125);
+  const Partitioning bk =
+      BkPartition(store, MaxDistance(5), BkPartitionMode::kStrict);
+  EXPECT_EQ(bk.partitions.size(), 1u);
+  EXPECT_EQ(bk.partitions[0].members.size(), store.size());
+
+  Rng rng(7);
+  const Partitioning cn = CnPartition(store, MaxDistance(5), &rng);
+  EXPECT_EQ(cn.partitions.size(), 1u);
+}
+
+TEST(PartitionerTest, LargerThetaCMeansFewerPartitions) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 1500, 126);
+  size_t previous = store.size() + 1;
+  for (double theta_c : {0.0, 0.1, 0.2, 0.4, 0.6, 1.0}) {
+    const Partitioning partitioning = BkPartition(
+        store, RawThreshold(theta_c, 10), BkPartitionMode::kStrict);
+    EXPECT_LE(partitioning.partitions.size(), previous)
+        << "theta_c=" << theta_c;
+    previous = partitioning.partitions.size();
+  }
+}
+
+TEST(PartitionerTest, MaxRadiusAggregation) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 500, 127);
+  const Partitioning partitioning = BkPartition(
+      store, RawThreshold(0.3, 10), BkPartitionMode::kStrict);
+  RawDistance expected = 0;
+  for (const Partition& p : partitioning.partitions) {
+    expected = std::max(expected, p.radius);
+  }
+  EXPECT_EQ(partitioning.max_radius(), expected);
+  EXPECT_EQ(partitioning.total_members(), store.size());
+}
+
+TEST(CnPartitionerTest, SeedsProduceDifferentButValidPartitionings) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 400, 128);
+  const RawDistance raw = RawThreshold(0.3, 10);
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const Partitioning a = CnPartition(store, raw, &rng_a);
+  const Partitioning b = CnPartition(store, raw, &rng_b);
+  CheckCoverage(a, store.size());
+  CheckCoverage(b, store.size());
+  // Medoid counts land in the same ballpark (same radius, same data).
+  const double ratio = static_cast<double>(a.partitions.size()) /
+                       static_cast<double>(b.partitions.size());
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace topk

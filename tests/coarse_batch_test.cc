@@ -1,0 +1,110 @@
+// Batch query processing (the implemented Section 8 outlook): exactness
+// against per-query processing, and the filter-sharing effect on related
+// queries.
+
+#include "coarse/batch_query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+class BatchEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BatchEquivalenceTest, MatchesPerQueryProcessing) {
+  const auto [theta, batch_theta_c] = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(10, 1200, 201);
+  CoarseOptions options;
+  options.theta_c = 0.3;
+  const CoarseIndex index = CoarseIndex::Build(&store, options);
+  BatchQueryOptions batch_options;
+  batch_options.batch_theta_c = batch_theta_c;
+  BatchQueryProcessor batch(&store, &index, batch_options);
+
+  const auto queries = testutil::MakeQueries(store, 40, 202);
+  const RawDistance theta_raw = RawThreshold(theta, 10);
+  const auto batch_results = batch.QueryBatch(queries, theta_raw);
+  ASSERT_EQ(batch_results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch_results[i],
+              testutil::BruteForce(store, queries[i], theta_raw))
+        << "query " << i << " theta=" << theta
+        << " batch_theta_c=" << batch_theta_c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchEquivalenceTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.2, 0.3),
+                       ::testing::Values(0.0, 0.1, 0.3)));
+
+TEST(BatchQueryTest, EmptyBatch) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 100, 203);
+  const CoarseIndex index = CoarseIndex::Build(&store, CoarseOptions{});
+  BatchQueryProcessor batch(&store, &index);
+  EXPECT_TRUE(batch.QueryBatch({}, 10).empty());
+}
+
+TEST(BatchQueryTest, RepeatedIdenticalQueriesShareOneProbe) {
+  // A batch of N identical queries should probe the index once, not N
+  // times: the medoid probe's posting scans appear once.
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 204);
+  CoarseOptions options;
+  options.theta_c = 0.3;
+  const CoarseIndex index = CoarseIndex::Build(&store, options);
+
+  const auto one = testutil::MakeQueries(store, 1, 205);
+  std::vector<PreparedQuery> repeated;
+  for (int i = 0; i < 20; ++i) {
+    repeated.emplace_back(PreparedQuery(
+        std::move(Ranking::Create({one[0].view().items().begin(),
+                                   one[0].view().items().end()}))
+            .ValueOrDie()));
+  }
+
+  Statistics individual_stats;
+  const RawDistance theta_raw = RawThreshold(0.2, 10);
+  for (const auto& query : repeated) {
+    index.Query(query, theta_raw, &individual_stats);
+  }
+
+  BatchQueryOptions batch_options;
+  batch_options.batch_theta_c = 0.0;  // groups exactly the identical ones
+  BatchQueryProcessor batch(&store, &index, batch_options);
+  Statistics batch_stats;
+  const auto results = batch.QueryBatch(repeated, theta_raw, &batch_stats);
+
+  EXPECT_LT(batch_stats.Get(Ticker::kPostingEntriesScanned),
+            individual_stats.Get(Ticker::kPostingEntriesScanned));
+  for (const auto& r : results) EXPECT_EQ(r, results.front());
+}
+
+TEST(BatchQueryTest, PerturbedQueryFamiliesStayExact) {
+  // Mimic the query-suggestion workload: families of related queries.
+  const RankingStore store = testutil::MakeClusteredStore(10, 1500, 206);
+  CoarseOptions options;
+  options.theta_c = 0.3;
+  const CoarseIndex index = CoarseIndex::Build(&store, options);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  wopts.perturbed_fraction = 1.0;
+  wopts.perturb_ops = 1;
+  wopts.seed = 207;
+  const auto queries = MakeWorkload(store, wopts);
+
+  BatchQueryOptions batch_options;
+  batch_options.batch_theta_c = 0.2;
+  BatchQueryProcessor batch(&store, &index, batch_options);
+  const RawDistance theta_raw = RawThreshold(0.15, 10);
+  const auto results = batch.QueryBatch(queries, theta_raw);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i], testutil::BruteForce(store, queries[i], theta_raw));
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,150 @@
+// Overlap bounds of Section 6.1: L(k, w), the minimum-overlap inversion,
+// and the sufficient-list count — validated against brute force.
+
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/footrule.h"
+#include "core/ranking.h"
+#include "core/rng.h"
+
+namespace topk {
+namespace {
+
+TEST(MinDistanceForOverlapTest, ClosedFormValues) {
+  // L(k, w) = (k-w)(k-w+1).
+  EXPECT_EQ(MinDistanceForOverlap(5, 5), 0u);
+  EXPECT_EQ(MinDistanceForOverlap(5, 4), 2u);
+  EXPECT_EQ(MinDistanceForOverlap(5, 0), 30u);
+  EXPECT_EQ(MinDistanceForOverlap(10, 0), MaxDistance(10));
+  EXPECT_EQ(MinDistanceForOverlap(10, 7), 12u);
+}
+
+TEST(MinDistanceForOverlapTest, WitnessAchievesTheBound) {
+  // Construct the optimal configuration: w shared items at the top of both
+  // rankings, disjoint tails. Its distance must equal L(k, w) exactly.
+  for (uint32_t k : {3u, 5u, 10u}) {
+    for (uint32_t w = 0; w <= k; ++w) {
+      RankingStore store(k);
+      std::vector<ItemId> a;
+      std::vector<ItemId> b;
+      for (uint32_t i = 0; i < w; ++i) {
+        a.push_back(i);
+        b.push_back(i);
+      }
+      for (uint32_t i = w; i < k; ++i) {
+        a.push_back(100 + i);
+        b.push_back(200 + i);
+      }
+      store.AddUnchecked(a);
+      store.AddUnchecked(b);
+      EXPECT_EQ(FootruleDistance(store.sorted(0), store.sorted(1)),
+                MinDistanceForOverlap(k, w))
+          << "k=" << k << " w=" << w;
+    }
+  }
+}
+
+TEST(MinDistanceForOverlapTest, NoConfigurationBeatsTheBound) {
+  // Random rankings with a forced overlap can never undercut L(k, w).
+  Rng rng(4);
+  const uint32_t k = 6;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto w = static_cast<uint32_t>(rng.Below(k + 1));
+    // Build two rankings sharing exactly items 0..w-1 at random positions.
+    std::vector<ItemId> a;
+    std::vector<ItemId> b;
+    for (uint32_t i = 0; i < w; ++i) {
+      a.push_back(i);
+      b.push_back(i);
+    }
+    for (uint32_t i = w; i < k; ++i) {
+      a.push_back(100 + i);
+      b.push_back(200 + i);
+    }
+    rng.Shuffle(&a);
+    rng.Shuffle(&b);
+    RankingStore store(k);
+    store.AddUnchecked(a);
+    store.AddUnchecked(b);
+    EXPECT_GE(FootruleDistance(store.sorted(0), store.sorted(1)),
+              MinDistanceForOverlap(k, w));
+  }
+}
+
+TEST(MinOverlapTest, ExactInversion) {
+  // MinOverlap must be the least w with L(k, w) <= theta.
+  for (uint32_t k : {2u, 5u, 10u, 20u}) {
+    for (RawDistance theta = 0; theta <= MaxDistance(k); ++theta) {
+      const uint32_t w = MinOverlap(k, theta);
+      if (theta < MaxDistance(k)) {
+        EXPECT_GE(w, 1u) << "valid thresholds imply overlap >= 1";
+      }
+      EXPECT_LE(MinDistanceForOverlap(k, w), theta);
+      if (w > 0) {
+        EXPECT_GT(MinDistanceForOverlap(k, w - 1), theta)
+            << "k=" << k << " theta=" << theta << " w not minimal";
+      }
+    }
+  }
+}
+
+TEST(MinOverlapTest, DominatesPaperClosedForm) {
+  // The paper's floor formula may undershoot (be more conservative) but
+  // must never exceed the exact inversion — otherwise it would be wrong.
+  for (uint32_t k : {2u, 5u, 10u, 20u, 25u}) {
+    for (RawDistance theta = 0; theta <= MaxDistance(k); ++theta) {
+      EXPECT_LE(MinOverlapPaperFormula(k, theta), MinOverlap(k, theta))
+          << "k=" << k << " theta=" << theta;
+    }
+  }
+}
+
+TEST(MinOverlapTest, PaperExampleValues) {
+  // theta = 0 forces full overlap; theta = dmax - 1 still needs one item.
+  EXPECT_EQ(MinOverlap(10, 0), 10u);
+  EXPECT_EQ(MinOverlap(10, MaxDistance(10) - 1), 1u);
+  // k=2, theta=2: L(2,1) = 2 <= 2 => w = 1.
+  EXPECT_EQ(MinOverlap(2, 2), 1u);
+}
+
+TEST(SufficientListsTest, PigeonholeCount) {
+  // k - w + 1 lists, clamped to [1, k].
+  EXPECT_EQ(SufficientLists(10, 0), 1u);            // w = 10
+  EXPECT_EQ(SufficientLists(10, MaxDistance(10)), 10u);  // w = 0 => all
+  for (uint32_t k : {5u, 10u}) {
+    for (RawDistance theta = 0; theta < MaxDistance(k); ++theta) {
+      const uint32_t lists = SufficientLists(k, theta);
+      EXPECT_GE(lists, 1u);
+      EXPECT_LE(lists, k);
+      EXPECT_EQ(lists, k - MinOverlap(k, theta) + 1);
+    }
+  }
+}
+
+TEST(AbsentSuffixCostTest, TriangularNumbers) {
+  // sum_{p=t..k-1} (k-p) = m(m+1)/2 with m = k - t.
+  EXPECT_EQ(AbsentSuffixCost(10, 0), 55u);
+  EXPECT_EQ(AbsentSuffixCost(10, 9), 1u);
+  EXPECT_EQ(AbsentSuffixCost(10, 10), 0u);
+  for (uint32_t k : {1u, 5u, 10u, 25u}) {
+    for (uint32_t t = 0; t <= k; ++t) {
+      RawDistance direct = 0;
+      for (uint32_t p = t; p < k; ++p) direct += k - p;
+      EXPECT_EQ(AbsentSuffixCost(k, t), direct);
+    }
+  }
+}
+
+TEST(AbsentSuffixCostTest, TwoHalvesMakeMaxDistance) {
+  for (uint32_t k : {2u, 10u, 25u}) {
+    EXPECT_EQ(2 * AbsentSuffixCost(k, 0), MaxDistance(k));
+  }
+}
+
+}  // namespace
+}  // namespace topk

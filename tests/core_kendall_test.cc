@@ -1,0 +1,105 @@
+// Kendall's tau with penalty parameter for top-k lists (Fagin et al.),
+// case-by-case and property tests.
+
+#include "core/kendall.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/rng.h"
+
+namespace topk {
+namespace {
+
+Ranking R(std::vector<ItemId> items) {
+  return std::move(Ranking::Create(std::move(items))).ValueOrDie();
+}
+
+TEST(KendallTest, IdenticalListsHaveZeroDistance) {
+  const Ranking a = R({1, 2, 3});
+  EXPECT_EQ(KendallTauTimesTwo(a.view(), a.view(), 1), 0u);
+}
+
+TEST(KendallTest, SingleInversionCostsOne) {
+  // Same domain, one swapped adjacent pair: exactly one discordant pair.
+  const Ranking a = R({1, 2, 3});
+  const Ranking b = R({2, 1, 3});
+  EXPECT_EQ(KendallTauOptimistic(a.view(), b.view()), 1u);
+}
+
+TEST(KendallTest, ReversalCostsAllPairs) {
+  const Ranking a = R({1, 2, 3, 4});
+  const Ranking b = R({4, 3, 2, 1});
+  EXPECT_EQ(KendallTauOptimistic(a.view(), b.view()), 6u);  // C(4,2)
+}
+
+TEST(KendallTest, DisjointListsCase3And4) {
+  // Disjoint domains of size k: k^2 cross pairs (case 3, penalty 1 each)
+  // plus 2*C(k,2) single-list pairs (case 4, penalty p each).
+  const Ranking a = R({1, 2, 3});
+  const Ranking b = R({4, 5, 6});
+  // p = 0: only the 9 cross pairs count.
+  EXPECT_EQ(KendallTauTimesTwo(a.view(), b.view(), 0), 18u);
+  // p = 1/2: add 6 single-list pairs at 1/2 => 2K = 18 + 6.
+  EXPECT_EQ(KendallTauTimesTwo(a.view(), b.view(), 1), 24u);
+}
+
+TEST(KendallTest, Case2PenalizesContradictedOrder) {
+  // a = [x, y], b contains only y. b implies y ahead of x; a says x ahead
+  // of y: contradiction => penalty.
+  const Ranking a = R({10, 20});
+  const Ranking b = R({20, 30});
+  // Pairs over union {10,20,30}:
+  //  (10,20): case 2 via a, member-of-b is 20, a ranks 10 first => 1.
+  //  (10,30): case 3 => 1.
+  //  (20,30): case 2 via b, member-of-a is 20, b ranks 20 first => 0.
+  EXPECT_EQ(KendallTauOptimistic(a.view(), b.view()), 2u);
+}
+
+TEST(KendallTest, SymmetricInArguments) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<ItemId> xs;
+    std::vector<ItemId> ys;
+    while (xs.size() < 5) {
+      const auto v = static_cast<ItemId>(rng.Below(12));
+      if (std::find(xs.begin(), xs.end(), v) == xs.end()) xs.push_back(v);
+    }
+    while (ys.size() < 5) {
+      const auto v = static_cast<ItemId>(rng.Below(12));
+      if (std::find(ys.begin(), ys.end(), v) == ys.end()) ys.push_back(v);
+    }
+    const Ranking a = R(xs);
+    const Ranking b = R(ys);
+    for (uint64_t p2 : {0u, 1u, 2u}) {
+      EXPECT_EQ(KendallTauTimesTwo(a.view(), b.view(), p2),
+                KendallTauTimesTwo(b.view(), a.view(), p2));
+    }
+  }
+}
+
+TEST(KendallTest, PenaltyMonotone) {
+  // Larger penalty parameter can only increase the distance.
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ItemId> xs;
+    std::vector<ItemId> ys;
+    while (xs.size() < 4) {
+      const auto v = static_cast<ItemId>(rng.Below(10));
+      if (std::find(xs.begin(), xs.end(), v) == xs.end()) xs.push_back(v);
+    }
+    while (ys.size() < 4) {
+      const auto v = static_cast<ItemId>(rng.Below(10));
+      if (std::find(ys.begin(), ys.end(), v) == ys.end()) ys.push_back(v);
+    }
+    const Ranking a = R(xs);
+    const Ranking b = R(ys);
+    EXPECT_LE(KendallTauTimesTwo(a.view(), b.view(), 0),
+              KendallTauTimesTwo(a.view(), b.view(), 1));
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,134 @@
+// Ranking model: construction validation, views, the sorted
+// representation, and the store's flat storage invariants.
+
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace topk {
+namespace {
+
+TEST(RankingTest, CreateValidRanking) {
+  auto result = Ranking::Create({2, 5, 4, 3});
+  ASSERT_TRUE(result.ok());
+  const Ranking& r = result.value();
+  EXPECT_EQ(r.k(), 4u);
+  EXPECT_EQ(r.view()[0], 2u);
+  EXPECT_EQ(r.view()[3], 3u);
+}
+
+TEST(RankingTest, CreateRejectsDuplicates) {
+  auto result = Ranking::Create({1, 2, 1});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(RankingTest, CreateRejectsEmpty) {
+  auto result = Ranking::Create({});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(RankingTest, RankOfFindsItems) {
+  const Ranking r = std::move(Ranking::Create({7, 1, 6, 5, 2})).ValueOrDie();
+  EXPECT_EQ(r.view().RankOf(7), 0u);
+  EXPECT_EQ(r.view().RankOf(2), 4u);
+  EXPECT_FALSE(r.view().RankOf(99).has_value());
+  EXPECT_TRUE(r.view().Contains(6));
+  EXPECT_FALSE(r.view().Contains(0));
+}
+
+TEST(SortedRankingTest, SortsByItemKeepingRanks) {
+  const Ranking r = std::move(Ranking::Create({7, 1, 6, 5, 2})).ValueOrDie();
+  const SortedRanking sorted(r);
+  const SortedRankingView v = sorted.view();
+  // Items ascending: 1 2 5 6 7 with original positions 1 4 3 2 0.
+  const ItemId expected_items[] = {1, 2, 5, 6, 7};
+  const Rank expected_ranks[] = {1, 4, 3, 2, 0};
+  for (uint32_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(v.item(j), expected_items[j]) << j;
+    EXPECT_EQ(v.rank(j), expected_ranks[j]) << j;
+  }
+}
+
+TEST(RankingStoreTest, AddAndView) {
+  RankingStore store(4);
+  const ItemId row0[] = {2, 5, 4, 3};
+  const ItemId row1[] = {1, 4, 5, 9};
+  ASSERT_TRUE(store.Add(row0).ok());
+  ASSERT_TRUE(store.Add(row1).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.view(0)[1], 5u);
+  EXPECT_EQ(store.view(1)[3], 9u);
+  EXPECT_EQ(store.max_item(), 9u);
+}
+
+TEST(RankingStoreTest, AddRejectsWrongSize) {
+  RankingStore store(4);
+  const ItemId row[] = {1, 2, 3};
+  EXPECT_FALSE(store.Add(row).ok());
+}
+
+TEST(RankingStoreTest, AddRejectsDuplicates) {
+  RankingStore store(3);
+  const ItemId row[] = {1, 2, 2};
+  EXPECT_FALSE(store.Add(row).ok());
+}
+
+TEST(RankingStoreTest, SortedViewMatchesPositionView) {
+  Rng rng(123);
+  RankingStore store(10);
+  std::vector<ItemId> items;
+  for (int i = 0; i < 200; ++i) {
+    items.clear();
+    while (items.size() < 10) {
+      const auto item = static_cast<ItemId>(rng.Below(1000));
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    store.AddUnchecked(items);
+  }
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const RankingView v = store.view(id);
+    const SortedRankingView s = store.sorted(id);
+    for (uint32_t j = 0; j < s.k(); ++j) {
+      // Sorted pairs point back at the right positions.
+      EXPECT_EQ(v[s.rank(j)], s.item(j));
+      if (j > 0) {
+        EXPECT_LT(s.item(j - 1), s.item(j));
+      }
+    }
+  }
+}
+
+TEST(RankingStoreTest, MaterializeRoundTrips) {
+  RankingStore store(5);
+  const ItemId row[] = {9, 3, 7, 1, 5};
+  ASSERT_TRUE(store.Add(row).ok());
+  const Ranking r = store.Materialize(0);
+  for (uint32_t p = 0; p < 5; ++p) EXPECT_EQ(r.view()[p], row[p]);
+}
+
+TEST(RankingStoreTest, MemoryUsageGrowsWithContent) {
+  RankingStore store(10);
+  const size_t before = store.MemoryUsage();
+  std::vector<ItemId> items(10);
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 10; ++j) items[j] = static_cast<ItemId>(i * 100 + j);
+    store.AddUnchecked(items);
+  }
+  EXPECT_GT(store.MemoryUsage(), before);
+}
+
+TEST(PreparedQueryTest, BundlesBothViews) {
+  PreparedQuery query(std::move(Ranking::Create({4, 2, 9})).ValueOrDie());
+  EXPECT_EQ(query.k(), 3u);
+  EXPECT_EQ(query.view()[0], 4u);
+  EXPECT_EQ(query.sorted_view().item(0), 2u);
+  EXPECT_EQ(query.sorted_view().rank(0), 1u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,110 @@
+// Statistics tickers, stopwatch and the RNG primitives.
+
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.h"
+
+namespace topk {
+namespace {
+
+TEST(StatisticsTest, AddAndGet) {
+  Statistics stats;
+  EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), 0u);
+  stats.Add(Ticker::kDistanceCalls);
+  stats.Add(Ticker::kDistanceCalls, 5);
+  EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), 6u);
+}
+
+TEST(StatisticsTest, ResetClearsAll) {
+  Statistics stats;
+  stats.Add(Ticker::kCandidates, 10);
+  stats.Add(Ticker::kResults, 3);
+  stats.Reset();
+  EXPECT_EQ(stats.Get(Ticker::kCandidates), 0u);
+  EXPECT_EQ(stats.Get(Ticker::kResults), 0u);
+}
+
+TEST(StatisticsTest, MergeAccumulates) {
+  Statistics a;
+  Statistics b;
+  a.Add(Ticker::kDistanceCalls, 2);
+  b.Add(Ticker::kDistanceCalls, 3);
+  b.Add(Ticker::kListsDropped, 1);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get(Ticker::kDistanceCalls), 5u);
+  EXPECT_EQ(a.Get(Ticker::kListsDropped), 1u);
+}
+
+TEST(StatisticsTest, NullSafeHelper) {
+  AddTicker(nullptr, Ticker::kDistanceCalls);  // must not crash
+  Statistics stats;
+  AddTicker(&stats, Ticker::kDistanceCalls, 4);
+  EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), 4u);
+}
+
+TEST(StatisticsTest, AllTickersHaveNames) {
+  for (int i = 0; i < kNumTickers; ++i) {
+    EXPECT_STRNE(TickerName(static_cast<Ticker>(i)), "unknown");
+  }
+}
+
+TEST(PhaseTimesTest, MergeAndTotal) {
+  PhaseTimes a{1.5, 2.5};
+  PhaseTimes b{0.5, 1.0};
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.filter_ms, 2.0);
+  EXPECT_DOUBLE_EQ(a.validate_ms, 3.5);
+  EXPECT_DOUBLE_EQ(a.total_ms(), 5.5);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<uint64_t>(i);
+  EXPECT_GT(watch.ElapsedNanos(), 0u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(8);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,334 @@
+// Cost model components: Zipf law and estimator, empirical CDF, the
+// coupon-collector medoid count (against simulation), calibration and the
+// end-to-end tuner.
+
+#include "costmodel/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cn_partitioner.h"
+#include "costmodel/empirical_cdf.h"
+#include "costmodel/medoid_model.h"
+#include "costmodel/zipf.h"
+#include "data/dataset_stats.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+TEST(ZipfTest, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(3, 0.0), 3.0, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(4, 2.0),
+              1.0 + 0.25 + 1.0 / 9 + 1.0 / 16, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 0.87, 1.5}) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= 500; ++i) sum += ZipfPmf(i, s, 500);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  for (uint64_t i = 1; i < 100; ++i) {
+    EXPECT_GE(ZipfPmf(i, 0.87, 100), ZipfPmf(i + 1, 0.87, 100));
+  }
+}
+
+TEST(ZipfTest, SquaredMassMatchesDirectSum) {
+  const uint64_t v = 300;
+  const double s = 0.7;
+  double direct = 0;
+  for (uint64_t i = 1; i <= v; ++i) {
+    const double f = ZipfPmf(i, s, v);
+    direct += f * f;
+  }
+  EXPECT_NEAR(ZipfSquaredMass(v, s), direct, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesFollowTheLaw) {
+  const double s = 0.87;
+  const uint64_t v = 50;
+  ZipfSampler sampler(s, v);
+  Rng rng(3);
+  std::vector<uint64_t> counts(v, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(&rng)];
+  for (uint64_t rank : {1u, 2u, 5u, 10u}) {
+    const double expected = ZipfPmf(rank, s, v) * kDraws;
+    EXPECT_NEAR(counts[rank - 1], expected, expected * 0.1)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfEstimatorTest, RecoversKnownSkewFromExactFrequencies) {
+  // Feed the estimator exact Zipf frequencies: regression must recover s.
+  for (double s : {0.3, 0.53, 0.87, 1.2}) {
+    std::vector<uint64_t> freqs;
+    for (uint64_t i = 1; i <= 2000; ++i) {
+      freqs.push_back(static_cast<uint64_t>(
+          1e9 * std::pow(static_cast<double>(i), -s)));
+    }
+    EXPECT_NEAR(EstimateZipfSkew(freqs), s, 0.02) << "s=" << s;
+  }
+}
+
+TEST(ZipfEstimatorTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(EstimateZipfSkew({}), 0.0);
+  const uint64_t one[] = {42};
+  EXPECT_EQ(EstimateZipfSkew(one), 0.0);
+}
+
+TEST(EmpiricalCdfTest, StepFunctionProperties) {
+  const EmpiricalCdf cdf = EmpiricalCdf::FromSamples({0.1, 0.3, 0.3, 0.7});
+  EXPECT_DOUBLE_EQ(cdf.P(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.P(0.1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.P(0.3), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.P(0.69), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.P(0.7), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.P(2.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, MonotoneOnSampledData) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 500, 161);
+  Rng rng(4);
+  const EmpiricalCdf cdf = SamplePairwiseDistances(store, 20000, &rng);
+  double previous = -1;
+  for (double x = 0; x <= 1.0; x += 0.05) {
+    const double p = cdf.P(x);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+  EXPECT_DOUBLE_EQ(cdf.P(1.0), 1.0);
+}
+
+TEST(MedoidModelTest, LimitCases) {
+  // Package 1 => every ranking its own medoid; package n => one medoid.
+  EXPECT_NEAR(ExpectedMedoids(1000, 1.0), 1000.0, 1e-9);
+  EXPECT_NEAR(ExpectedMedoids(1000, 1000.0), 1.0, 1e-9);
+}
+
+TEST(MedoidModelTest, MonotoneInPackageSize) {
+  // Non-strict overall (the clamp flattens the divergent small-package
+  // regime at n), strictly decreasing once the raw sum drops below n.
+  double previous = 1e18;
+  for (double package : {1.0, 2.0, 5.0, 20.0, 100.0, 500.0}) {
+    const double m = ExpectedMedoids(1000, package);
+    EXPECT_LE(m, std::max(previous, 1000.0)) << "package=" << package;
+    EXPECT_LE(m, 1000.0) << "never more medoids than rankings";
+    EXPECT_GE(m, 1.0);
+    previous = m;
+  }
+  EXPECT_LT(ExpectedMedoids(1000, 100.0), ExpectedMedoids(1000, 20.0));
+  EXPECT_LT(ExpectedMedoids(1000, 500.0), ExpectedMedoids(1000, 100.0));
+}
+
+TEST(MedoidModelTest, GeometricCoverageBallpark) {
+  // The coupon-with-packages count should land near the geometric-decay
+  // estimate M ~ ln(n) / ln(n / (n - p)).
+  const uint64_t n = 10000;
+  for (double frac : {0.05, 0.2, 0.5}) {
+    const double p = frac * n;
+    const double model = ExpectedMedoids(n, p);
+    const double geometric =
+        std::log(static_cast<double>(n)) /
+        std::log(static_cast<double>(n) / (static_cast<double>(n) - p));
+    EXPECT_GT(model, 0.3 * geometric);
+    EXPECT_LT(model, 3.0 * geometric);
+  }
+}
+
+TEST(MedoidModelRecurrenceTest, LimitCases) {
+  EXPECT_NEAR(ExpectedMedoidsRecurrence(1000, 1.0), 1000.0, 1e-9);
+  EXPECT_NEAR(ExpectedMedoidsRecurrence(1000, 1000.0), 1.0, 1e-9);
+}
+
+TEST(MedoidModelRecurrenceTest, StrictlyMonotoneAndPhysical) {
+  double previous = 1e18;
+  for (double package : {1.0, 2.0, 5.0, 20.0, 100.0, 500.0}) {
+    const double m = ExpectedMedoidsRecurrence(1000, package);
+    EXPECT_LT(m, previous) << "package=" << package;
+    EXPECT_LE(m, 1000.0);
+    EXPECT_GE(m, 1.0);
+    previous = m;
+  }
+}
+
+TEST(MedoidModelRecurrenceTest, TracksCnSimulationClosely) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 167);
+  Rng cdf_rng(8);
+  const EmpiricalCdf cdf = SamplePairwiseDistances(store, 50000, &cdf_rng);
+  for (double theta_c : {0.2, 0.4}) {
+    const double package = cdf.P(theta_c) * static_cast<double>(store.size());
+    const double predicted =
+        ExpectedMedoidsRecurrence(store.size(), package);
+    Rng rng(9);
+    const Partitioning actual =
+        CnPartition(store, RawThreshold(theta_c, 10), &rng);
+    const double ratio =
+        predicted / static_cast<double>(actual.partitions.size());
+    EXPECT_GT(ratio, 0.5) << "theta_c=" << theta_c;
+    EXPECT_LT(ratio, 2.0) << "theta_c=" << theta_c;
+  }
+}
+
+TEST(MedoidModelTest, AgreesWithCnSimulation) {
+  // End-to-end sanity: the assumption-lean model (uniform coverage from
+  // an average CDF) over-predicts on strongly clustered data, but must
+  // stay within a small constant factor of an actual Chavez-Navarro run —
+  // what matters downstream is the argmin location, scored by the
+  // Table 5 bench.
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 162);
+  Rng cdf_rng(5);
+  const EmpiricalCdf cdf = SamplePairwiseDistances(store, 50000, &cdf_rng);
+  for (double theta_c : {0.2, 0.4}) {
+    const double package = cdf.P(theta_c) * static_cast<double>(store.size());
+    const double predicted = ExpectedMedoids(store.size(), package);
+    Rng rng(6);
+    const Partitioning actual =
+        CnPartition(store, RawThreshold(theta_c, 10), &rng);
+    const double ratio =
+        predicted / static_cast<double>(actual.partitions.size());
+    EXPECT_GT(ratio, 0.2) << "theta_c=" << theta_c;
+    EXPECT_LT(ratio, 6.0) << "theta_c=" << theta_c;
+  }
+}
+
+TEST(BallProfileTest, BallsIncludeSelfAndGrowWithRadius) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 168);
+  Rng rng(10);
+  const BallProfile profile = BallProfile::Sample(store, 64, &rng);
+  EXPECT_EQ(profile.n(), store.size());
+  EXPECT_GE(profile.MeanBall(0.0), 1.0);  // every ranking covers itself
+  double previous = 0;
+  for (double theta : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+    const double ball = profile.MeanBall(theta);
+    EXPECT_GE(ball, previous);
+    previous = ball;
+  }
+  EXPECT_NEAR(profile.MeanBall(1.0), static_cast<double>(store.size()),
+              1e-9);
+}
+
+TEST(BallProfileTest, HarmonicCountBetweenOneAndN) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 169);
+  Rng rng(11);
+  const BallProfile profile = BallProfile::Sample(store, 64, &rng);
+  double previous = static_cast<double>(store.size()) + 1;
+  for (double theta : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+    const double m = profile.HarmonicBallCount(theta);
+    EXPECT_GE(m, 1.0 - 1e-9);
+    EXPECT_LE(m, static_cast<double>(store.size()) + 1e-9);
+    EXPECT_LE(m, previous + 1e-9) << "theta=" << theta;
+    previous = m;
+  }
+  EXPECT_NEAR(profile.HarmonicBallCount(1.0), 1.0, 1e-9);
+}
+
+TEST(BallProfileTest, PooledCdfMatchesPairSampling) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 1000, 170);
+  Rng rng_a(12);
+  Rng rng_b(13);
+  const BallProfile profile = BallProfile::Sample(store, 128, &rng_a);
+  const EmpiricalCdf cdf = SamplePairwiseDistances(store, 50000, &rng_b);
+  for (double theta : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(profile.P(theta), cdf.P(theta), 0.05) << "theta=" << theta;
+  }
+}
+
+TEST(BallProfileTest, HarmonicEstimatorTracksCnOnHeavyTailedData) {
+  // The motivating case: query-log style duplication where the average
+  // ball is dominated by giant clusters. The harmonic estimate must stay
+  // close to an actual partitioner run where the coupon model is off by
+  // multiples.
+  const RankingStore store = Generate(NytLikeOptions(4000, 10, 21));
+  Rng rng_profile(14);
+  const BallProfile profile = BallProfile::Sample(store, 256, &rng_profile);
+  for (double theta_c : {0.1, 0.3}) {
+    Rng rng_cn(15);
+    const Partitioning actual =
+        CnPartition(store, RawThreshold(theta_c, 10), &rng_cn);
+    const double harmonic = profile.HarmonicBallCount(theta_c);
+    const double ratio =
+        harmonic / static_cast<double>(actual.partitions.size());
+    EXPECT_GT(ratio, 0.5) << "theta_c=" << theta_c;
+    EXPECT_LT(ratio, 2.0) << "theta_c=" << theta_c;
+  }
+}
+
+TEST(CalibrationTest, ProducesPositiveCosts) {
+  const Calibration calib = Calibrate(10);
+  EXPECT_GT(calib.footrule_ns, 0.0);
+  EXPECT_GT(calib.merge_ns_per_entry, 0.0);
+  // A Footrule call costs more than touching one posting entry.
+  EXPECT_GT(calib.footrule_ns, calib.merge_ns_per_entry);
+}
+
+TEST(CostModelTest, FilterFallsValidationRisesWithThetaC) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 3000, 163);
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 128);
+  const CoarseCostModel model(inputs);
+  const double theta = 0.2;
+  const CostBreakdown low = model.Predict(theta, 0.05);
+  const CostBreakdown high = model.Predict(theta, 0.7);
+  EXPECT_GT(low.filter_ns, high.filter_ns)
+      << "filter cost must fall as the index coarsens";
+  EXPECT_LT(low.validate_ns, high.validate_ns)
+      << "validation cost must rise as partitions grow";
+}
+
+TEST(CostModelTest, MedoidCountDecreasesWithThetaC) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 164);
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 128);
+  const CoarseCostModel model(inputs);
+  double previous = 1e18;
+  for (double theta_c : {0.05, 0.2, 0.4, 0.7}) {
+    const double m = model.ExpectedMedoidCount(theta_c);
+    EXPECT_LE(m, previous);
+    previous = m;
+  }
+}
+
+TEST(CostModelTest, DistinctItemsBelowDomainAndMonotone) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 165);
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 128);
+  const CoarseCostModel model(inputs);
+  double previous = 0;
+  for (double medoids : {10.0, 100.0, 1000.0}) {
+    const double v_prime = model.ExpectedDistinctMedoidItems(medoids);
+    EXPECT_GT(v_prime, previous);
+    EXPECT_LE(v_prime, static_cast<double>(inputs.v) + 1e-6);
+    previous = v_prime;
+  }
+}
+
+TEST(CostModelTest, TuneReturnsSeriesArgmin) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 166);
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 128);
+  const CoarseCostModel model(inputs);
+  const std::vector<double> grid = MakeGrid(0.02, 0.8, 0.02);
+  const auto result = model.Tune(0.2, grid);
+  EXPECT_EQ(result.series.size(), grid.size());
+  for (const auto& point : result.series) {
+    EXPECT_GE(point.cost.total_ns() + 1e-9, result.best_cost.total_ns());
+  }
+  EXPECT_GT(result.best_theta_c, 0.0);
+  EXPECT_LT(result.best_theta_c, 0.8 + 1e-9);
+}
+
+TEST(CostModelTest, MakeGridCoversRangeInclusive) {
+  const auto grid = MakeGrid(0.1, 0.5, 0.1);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+  EXPECT_NEAR(grid.back(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace topk

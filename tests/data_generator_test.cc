@@ -1,0 +1,184 @@
+// Synthetic generators and workloads: validity, determinism, and the
+// dataset properties the substitution argument (DESIGN.md) depends on.
+
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/empirical_cdf.h"
+#include "data/dataset_stats.h"
+#include "data/workload.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+void CheckValidStore(const RankingStore& store, uint32_t k, size_t n) {
+  EXPECT_EQ(store.k(), k);
+  EXPECT_EQ(store.size(), n);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const RankingView v = store.view(id);
+    for (uint32_t a = 0; a < k; ++a) {
+      for (uint32_t b = a + 1; b < k; ++b) {
+        EXPECT_NE(v[a], v[b]) << "duplicate item in ranking " << id;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ProducesValidRankings) {
+  const RankingStore store = Generate(NytLikeOptions(3000, 10, 1));
+  CheckValidStore(store, 10, 3000);
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  const RankingStore a = Generate(YagoLikeOptions(500, 10, 7));
+  const RankingStore b = Generate(YagoLikeOptions(500, 10, 7));
+  ASSERT_EQ(a.size(), b.size());
+  for (RankingId id = 0; id < a.size(); ++id) {
+    for (uint32_t p = 0; p < 10; ++p) {
+      EXPECT_EQ(a.view(id)[p], b.view(id)[p]);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const RankingStore a = Generate(YagoLikeOptions(500, 10, 1));
+  const RankingStore b = Generate(YagoLikeOptions(500, 10, 2));
+  size_t identical = 0;
+  for (RankingId id = 0; id < a.size(); ++id) {
+    bool same = true;
+    for (uint32_t p = 0; p < 10; ++p) {
+      if (a.view(id)[p] != b.view(id)[p]) same = false;
+    }
+    if (same) ++identical;
+  }
+  EXPECT_LT(identical, a.size() / 10);
+}
+
+TEST(GeneratorTest, NytLikeSkewExceedsYagoLikeSkew) {
+  // The defining contrast between the two presets (s = 0.87 vs 0.53).
+  const RankingStore nyt = Generate(NytLikeOptions(8000, 10, 3));
+  const RankingStore yago = Generate(YagoLikeOptions(8000, 10, 4));
+  const double nyt_skew = EstimateZipfSkew(ItemFrequencies(nyt));
+  const double yago_skew = EstimateZipfSkew(ItemFrequencies(yago));
+  EXPECT_GT(nyt_skew, yago_skew);
+}
+
+TEST(GeneratorTest, NytLikeHasMoreNearDuplicates) {
+  // Cluster structure shows up as pairwise-distance mass near zero.
+  const RankingStore nyt = Generate(NytLikeOptions(6000, 10, 5));
+  const RankingStore yago = Generate(YagoLikeOptions(6000, 10, 6));
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const EmpiricalCdf nyt_cdf = SamplePairwiseDistances(nyt, 40000, &rng_a);
+  const EmpiricalCdf yago_cdf = SamplePairwiseDistances(yago, 40000, &rng_b);
+  EXPECT_GT(nyt_cdf.P(0.2), yago_cdf.P(0.2));
+  EXPECT_GT(nyt_cdf.P(0.2), 0.0) << "NYT-like must contain close pairs";
+}
+
+TEST(GeneratorTest, MeanClusterSizeOneMeansNoDuplicationMechanism) {
+  GeneratorOptions options;
+  options.n = 1000;
+  options.k = 10;
+  options.domain = 40000;
+  options.zipf_s = 0.3;
+  options.mean_cluster_size = 1.0;
+  options.seed = 9;
+  const RankingStore store = Generate(options);
+  CheckValidStore(store, 10, 1000);
+  // With a huge domain, low skew and no clusters, exact duplicates are
+  // vanishingly unlikely.
+  Rng rng(2);
+  const EmpiricalCdf cdf = SamplePairwiseDistances(store, 20000, &rng);
+  EXPECT_LT(cdf.P(0.0), 0.01);
+}
+
+TEST(GeneratorTest, PerturbKeepsRankingValid) {
+  Rng rng(10);
+  ZipfSampler sampler(0.8, 1000);
+  std::vector<ItemId> items;
+  SampleRanking(sampler, 10, &rng, &items);
+  for (int round = 0; round < 100; ++round) {
+    Perturb(&items, sampler, 3, 0.5, &rng);
+    ASSERT_EQ(items.size(), 10u);
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = a + 1; b < items.size(); ++b) {
+        ASSERT_NE(items[a], items[b]);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, QueriesAreValidRankings) {
+  const RankingStore store = Generate(YagoLikeOptions(2000, 10, 11));
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.seed = 12;
+  const auto queries = MakeWorkload(store, options);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(query.k(), 10u);
+    const auto items = query.view().items();
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = a + 1; b < items.size(); ++b) {
+        EXPECT_NE(items[a], items[b]);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, PerturbedQueriesFindNeighbors) {
+  // A workload of pure perturbed copies must mostly have non-empty result
+  // sets at moderate thresholds — the property the paper's query logs have.
+  const RankingStore store = Generate(NytLikeOptions(3000, 10, 13));
+  WorkloadOptions options;
+  options.num_queries = 100;
+  options.perturbed_fraction = 1.0;
+  options.seed = 14;
+  const auto queries = MakeWorkload(store, options);
+  size_t with_results = 0;
+  for (const auto& query : queries) {
+    if (!testutil::BruteForce(store, query, RawThreshold(0.3, 10)).empty()) {
+      ++with_results;
+    }
+  }
+  EXPECT_GT(with_results, 80u);
+}
+
+TEST(WorkloadTest, DeterministicUnderSeed) {
+  const RankingStore store = Generate(YagoLikeOptions(1000, 10, 15));
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.seed = 16;
+  const auto a = MakeWorkload(store, options);
+  const auto b = MakeWorkload(store, options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (uint32_t p = 0; p < 10; ++p) {
+      EXPECT_EQ(a[i].view()[p], b[i].view()[p]);
+    }
+  }
+}
+
+TEST(DatasetStatsTest, ItemFrequenciesSumToNk) {
+  const RankingStore store = Generate(YagoLikeOptions(1500, 10, 17));
+  const auto freqs = ItemFrequencies(store);
+  uint64_t total = 0;
+  for (uint64_t f : freqs) total += f;
+  EXPECT_EQ(total, store.size() * 10);
+}
+
+TEST(DatasetStatsTest, MeasuredInputsAreConsistent) {
+  const RankingStore store = Generate(NytLikeOptions(2000, 10, 18));
+  const CostModelInputs inputs = MeasureCostModelInputs(store, 128);
+  EXPECT_EQ(inputs.n, store.size());
+  EXPECT_EQ(inputs.k, 10u);
+  EXPECT_EQ(inputs.v, CountDistinctItems(store));
+  EXPECT_GT(inputs.zipf_s, 0.0);
+  EXPECT_GT(inputs.calib.footrule_ns, 0.0);
+  EXPECT_EQ(inputs.profile.num_samples(), 128u);
+  EXPECT_EQ(inputs.profile.n(), store.size());
+}
+
+}  // namespace
+}  // namespace topk

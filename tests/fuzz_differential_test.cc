@@ -1,0 +1,92 @@
+// Randomized differential sweep: many random (seed, shape) configurations
+// where every engine must agree with brute force bit-for-bit. This is the
+// suite's long-tail net — parameters deliberately roam outside the tidy
+// defaults (tiny domains, extreme duplication, k values the paper never
+// shows, thresholds at awkward raw values).
+
+#include <gtest/gtest.h>
+
+#include "harness/query_algorithms.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+struct FuzzShape {
+  uint32_t k;
+  uint32_t n;
+  uint32_t domain;
+  double zipf_s;
+  double mean_cluster;
+  double exact_dup;
+};
+
+FuzzShape RandomShape(Rng* rng) {
+  FuzzShape shape;
+  shape.k = 2 + static_cast<uint32_t>(rng->Below(14));           // 2..15
+  shape.n = 200 + static_cast<uint32_t>(rng->Below(800));        // 200..999
+  shape.domain =
+      std::max(3 * shape.k,
+               shape.k + static_cast<uint32_t>(rng->Below(400)));
+  shape.zipf_s = rng->NextDouble() * 1.4;
+  shape.mean_cluster = 1.0 + rng->NextDouble() * 9.0;
+  shape.exact_dup = rng->NextDouble();
+  return shape;
+}
+
+RankingStore MakeStore(const FuzzShape& shape, uint64_t seed) {
+  GeneratorOptions options;
+  options.k = shape.k;
+  options.n = shape.n;
+  options.domain = shape.domain;
+  options.zipf_s = shape.zipf_s;
+  options.mean_cluster_size = shape.mean_cluster;
+  options.exact_duplicate_probability = shape.exact_dup;
+  options.max_perturb_ops = 1 + shape.k / 4;
+  options.seed = seed;
+  return Generate(options);
+}
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDifferentialTest, AllEnginesAgreeOnRandomConfigurations) {
+  Rng rng(5000 + static_cast<uint64_t>(GetParam()));
+  const FuzzShape shape = RandomShape(&rng);
+  const RankingStore store = MakeStore(shape, rng.Next());
+  EngineSuite suite(&store);
+  const auto queries = testutil::MakeQueries(store, 8, rng.Next());
+
+  // Random thresholds across the whole valid range, biased low (where
+  // pruning logic is busiest) but touching the top too.
+  std::vector<RawDistance> thetas = {
+      0, 1, 2,
+      static_cast<RawDistance>(rng.Below(MaxDistance(shape.k))),
+      static_cast<RawDistance>(rng.Below(MaxDistance(shape.k))),
+      MaxDistance(shape.k) - 1};
+
+  const Algorithm algorithms[] = {
+      Algorithm::kFV,           Algorithm::kFVDrop,
+      Algorithm::kListMerge,    Algorithm::kLaatPrune,
+      Algorithm::kBlockedPrune, Algorithm::kBlockedPruneDrop,
+      Algorithm::kCoarse,       Algorithm::kCoarseDrop,
+      Algorithm::kAdaptSearch,  Algorithm::kBkTree,
+      Algorithm::kMTree};
+  for (Algorithm algorithm : algorithms) {
+    auto engine = suite.MakeEngine(algorithm);
+    for (RawDistance theta : thetas) {
+      for (const auto& query : queries) {
+        ASSERT_EQ(engine->Query(0, query, theta, nullptr, nullptr),
+                  testutil::BruteForce(store, query, theta))
+            << AlgorithmName(algorithm) << " k=" << shape.k
+            << " n=" << shape.n << " domain=" << shape.domain
+            << " theta=" << theta;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, FuzzDifferentialTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace topk

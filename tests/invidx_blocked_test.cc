@@ -1,0 +1,153 @@
+// Blocked inverted index: directory structure, block skipping, both
+// processing modes (windowed and scheduled), and exactness.
+
+#include "invidx/blocked_inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+TEST(BlockedIndexTest, BlocksPartitionTheListByRank) {
+  const RankingStore store = testutil::MakeUniformStore(6, 300, 50, 61);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    size_t total = 0;
+    for (Rank j = 0; j < 6; ++j) {
+      const auto block = index.Block(item, j);
+      total += block.size();
+      for (const AugmentedEntry& entry : block) {
+        EXPECT_EQ(entry.rank, j);
+        EXPECT_EQ(store.view(entry.id)[j], item);
+      }
+      // Ids ascending within a block.
+      for (size_t i = 1; i < block.size(); ++i) {
+        EXPECT_LT(block[i - 1].id, block[i].id);
+      }
+    }
+    EXPECT_EQ(total, index.list(item).size());
+  }
+}
+
+TEST(BlockedIndexTest, BlockRangeSpansBlocks) {
+  const RankingStore store = testutil::MakeUniformStore(6, 300, 50, 62);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    const auto range = index.BlockRange(item, 1, 3);
+    size_t expected = index.Block(item, 1).size() +
+                      index.Block(item, 2).size() +
+                      index.Block(item, 3).size();
+    EXPECT_EQ(range.size(), expected);
+    for (const AugmentedEntry& entry : range) {
+      EXPECT_GE(entry.rank, 1u);
+      EXPECT_LE(entry.rank, 3u);
+    }
+  }
+}
+
+class BlockedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, int, bool>> {
+};
+
+TEST_P(BlockedEquivalenceTest, MatchesBruteForce) {
+  const auto [k, theta, drop_int, scheduled] = GetParam();
+  BlockedOptions options;
+  options.drop = static_cast<DropMode>(drop_int);
+  options.scheduled = scheduled;
+
+  const RankingStore store = testutil::MakeClusteredStore(k, 1200, 63 + k);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  BlockedEngine engine(&store, &index, options);
+  const auto queries = testutil::MakeQueries(store, 25, 64);
+  const RawDistance theta_raw = RawThreshold(theta, k);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(engine.Query(query, theta_raw),
+              testutil::BruteForce(store, query, theta_raw))
+        << "k=" << k << " theta=" << theta << " drop=" << drop_int
+        << " scheduled=" << scheduled;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockedEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u),
+                       ::testing::Values(0.0, 0.1, 0.2, 0.3),
+                       ::testing::Values(0, 2),
+                       ::testing::Bool()));
+
+TEST(BlockedEngineTest, ExactMatchQueriesScanOnlyExactBlocks) {
+  // theta = 0: only the k diagonal blocks B_{q_t}@t are touched.
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 65);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  BlockedEngine engine(&store, &index);
+  const auto queries = testutil::MakeQueries(store, 20, 66);
+
+  Statistics stats;
+  for (const auto& query : queries) engine.Query(query, 0, &stats);
+
+  // Compare against the total entries the same lists hold.
+  size_t full_entries = 0;
+  size_t diagonal_entries = 0;
+  for (const auto& query : queries) {
+    for (Rank t = 0; t < 10; ++t) {
+      full_entries += index.list(query.view()[t]).size();
+      diagonal_entries += index.Block(query.view()[t], t).size();
+    }
+  }
+  EXPECT_EQ(stats.Get(Ticker::kPostingEntriesScanned), diagonal_entries);
+  EXPECT_LT(diagonal_entries, full_entries);
+}
+
+TEST(BlockedEngineTest, WindowedModeSkipsEntriesForSmallRawThresholds) {
+  // Raw thresholds below k-1 shrink the block window (at k=10 this means
+  // normalized theta < ~0.08).
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 67);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  BlockedEngine engine(&store, &index,
+                       BlockedOptions{DropMode::kNone, /*scheduled=*/false});
+  const auto queries = testutil::MakeQueries(store, 20, 68);
+  Statistics stats;
+  for (const auto& query : queries) {
+    engine.Query(query, /*theta_raw=*/5, &stats);
+  }
+  EXPECT_GT(stats.Get(Ticker::kPostingEntriesSkipped), 0u);
+}
+
+TEST(BlockedEngineTest, SurvivorsAreValidatedExactly) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 69);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  BlockedEngine engine(&store, &index);
+  const auto queries = testutil::MakeQueries(store, 10, 70);
+  Statistics stats;
+  size_t results = 0;
+  for (const auto& query : queries) {
+    results += engine.Query(query, RawThreshold(0.2, 10), &stats).size();
+  }
+  // Every reported result went through a Footrule validation.
+  EXPECT_GE(stats.Get(Ticker::kDistanceCalls), results);
+}
+
+TEST(BlockedEngineTest, SchedulingTerminatesEarlyForTightThresholds) {
+  // With theta = 0 the scheduled mode stops after round 0: scanned
+  // entries equal the diagonal blocks (checked above); with a large theta
+  // it must scan more.
+  const RankingStore store = testutil::MakeClusteredStore(10, 1000, 71);
+  const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+  BlockedEngine engine(&store, &index);
+  const auto queries = testutil::MakeQueries(store, 10, 72);
+  Statistics tight;
+  Statistics loose;
+  for (const auto& query : queries) {
+    engine.Query(query, 0, &tight);
+    engine.Query(query, RawThreshold(0.3, 10), &loose);
+  }
+  EXPECT_LT(tight.Get(Ticker::kPostingEntriesScanned),
+            loose.Get(Ticker::kPostingEntriesScanned));
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,182 @@
+// List-at-a-Time with partial-information bounds: exactness across option
+// combinations, and the bound laws themselves (monotonicity, sandwich,
+// convergence) recomputed step-by-step against exact distances.
+
+#include "invidx/list_at_a_time.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/bounds.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+class LaatEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, int>> {};
+
+TEST_P(LaatEquivalenceTest, MatchesBruteForce) {
+  const auto [k, theta, options_mask] = GetParam();
+  LaatOptions options;
+  options.prune_lower_bound = (options_mask & 1) != 0;
+  options.accept_upper_bound = (options_mask & 2) != 0;
+  options.refined_lower_bound = (options_mask & 4) != 0;
+
+  const RankingStore store = testutil::MakeClusteredStore(k, 1200, 41 + k);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListAtATimeEngine engine(&index, options);
+  const auto queries = testutil::MakeQueries(store, 25, 60);
+  const RawDistance theta_raw = RawThreshold(theta, k);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(engine.Query(query, theta_raw),
+              testutil::BruteForce(store, query, theta_raw))
+        << "k=" << k << " theta=" << theta << " mask=" << options_mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LaatEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u),
+                       ::testing::Values(0.0, 0.1, 0.2, 0.3),
+                       ::testing::Values(0, 1, 2, 3, 7)));
+
+// Reference re-derivation of the bounds, checked per processed list
+// against the exact distance: L never decreases, U never increases,
+// L <= exact <= U throughout, and both converge to exact at the end.
+TEST(LaatBoundsPropertyTest, MonotoneSandwichConvergence) {
+  const uint32_t k = 8;
+  const RankingStore store = testutil::MakeClusteredStore(k, 400, 47);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  const auto queries = testutil::MakeQueries(store, 10, 48);
+  const RawDistance half = AbsentSuffixCost(k, 0);
+
+  for (const PreparedQuery& query : queries) {
+    struct Acc {
+      RawDistance seen_sum = 0;
+      RawDistance seen_q_cost = 0;
+      RawDistance seen_tau_cover = 0;
+    };
+    std::map<RankingId, Acc> accs;
+    std::map<RankingId, RawDistance> prev_lower;
+    std::map<RankingId, RawDistance> prev_upper;
+
+    RawDistance processed_absent = 0;
+    for (Rank t = 0; t < k; ++t) {
+      for (const AugmentedEntry& entry : index.list(query.view()[t])) {
+        Acc& acc = accs[entry.id];
+        const Rank r = entry.rank;
+        acc.seen_sum += r > t ? r - t : t - r;
+        acc.seen_q_cost += k - t;
+        acc.seen_tau_cover += k - r;
+      }
+      processed_absent += k - t;
+
+      // Evaluate bounds for every candidate seen so far.
+      for (const auto& [id, acc] : accs) {
+        const RawDistance lower =
+            acc.seen_sum + (processed_absent - acc.seen_q_cost);
+        const RawDistance upper = lower + AbsentSuffixCost(k, t + 1) +
+                                  (half - acc.seen_tau_cover);
+        const RawDistance exact =
+            FootruleDistance(query.sorted_view(), store.sorted(id));
+        EXPECT_LE(lower, exact) << "lower bound not sound";
+        EXPECT_GE(upper, exact) << "upper bound not sound";
+        if (prev_lower.count(id) > 0) {
+          EXPECT_GE(lower, prev_lower[id]) << "lower bound not monotone";
+          EXPECT_LE(upper, prev_upper[id]) << "upper bound not monotone";
+        }
+        prev_lower[id] = lower;
+        prev_upper[id] = upper;
+      }
+    }
+
+    // Convergence: after all k lists, U equals the exact distance.
+    for (const auto& [id, acc] : accs) {
+      const RawDistance final_value = acc.seen_sum +
+                                      (processed_absent - acc.seen_q_cost) +
+                                      (half - acc.seen_tau_cover);
+      EXPECT_EQ(final_value,
+                FootruleDistance(query.sorted_view(), store.sorted(id)));
+    }
+  }
+}
+
+TEST(LaatBoundsPropertyTest, RefinedLowerBoundIsSoundAndTighter) {
+  const uint32_t k = 8;
+  const RankingStore store = testutil::MakeClusteredStore(k, 400, 49);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  const auto queries = testutil::MakeQueries(store, 10, 50);
+
+  for (const PreparedQuery& query : queries) {
+    struct Acc {
+      RawDistance seen_sum = 0;
+      RawDistance seen_q_cost = 0;
+      uint32_t seen_count = 0;
+    };
+    std::map<RankingId, Acc> accs;
+    RawDistance processed_absent = 0;
+    for (Rank t = 0; t < k; ++t) {
+      for (const AugmentedEntry& entry : index.list(query.view()[t])) {
+        Acc& acc = accs[entry.id];
+        const Rank r = entry.rank;
+        acc.seen_sum += r > t ? r - t : t - r;
+        acc.seen_q_cost += k - t;
+        ++acc.seen_count;
+      }
+      processed_absent += k - t;
+      for (const auto& [id, acc] : accs) {
+        const RawDistance base =
+            acc.seen_sum + (processed_absent - acc.seen_q_cost);
+        const RawDistance missed = (t + 1) - acc.seen_count;
+        const RawDistance refined = base + missed * (missed + 1) / 2;
+        EXPECT_GE(refined, base);
+        EXPECT_LE(refined,
+                  FootruleDistance(query.sorted_view(), store.sorted(id)))
+            << "refined lower bound overshoots the exact distance";
+      }
+    }
+  }
+}
+
+TEST(LaatTest, PruningReducesWorkAtTightThresholds) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 51);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListAtATimeEngine engine(&index);
+  const auto queries = testutil::MakeQueries(store, 20, 52);
+  Statistics stats;
+  for (const auto& query : queries) {
+    engine.Query(query, RawThreshold(0.05, 10), &stats);
+  }
+  EXPECT_GT(stats.Get(Ticker::kPrunedByLowerBound), 0u);
+}
+
+TEST(LaatTest, UpperBoundAcceptsEarlyAtLooseThresholds) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 2000, 53);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListAtATimeEngine engine(&index);
+  const auto queries = testutil::MakeQueries(store, 20, 54);
+  Statistics stats;
+  for (const auto& query : queries) {
+    engine.Query(query, RawThreshold(0.6, 10), &stats);
+  }
+  EXPECT_GT(stats.Get(Ticker::kAcceptedByUpperBound), 0u);
+}
+
+TEST(LaatTest, NoFootruleCallsEver) {
+  // The accumulator-only design never touches the stored rankings.
+  const RankingStore store = testutil::MakeClusteredStore(10, 500, 55);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListAtATimeEngine engine(&index);
+  const auto queries = testutil::MakeQueries(store, 10, 56);
+  Statistics stats;
+  for (const auto& query : queries) {
+    engine.Query(query, RawThreshold(0.2, 10), &stats);
+  }
+  EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), 0u);
+}
+
+}  // namespace
+}  // namespace topk

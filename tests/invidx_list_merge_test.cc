@@ -1,0 +1,88 @@
+// ListMerge: exactness of the on-the-fly distance finalization and its
+// threshold-agnostic behaviour.
+
+#include "invidx/list_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+class ListMergeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double>> {};
+
+TEST_P(ListMergeEquivalenceTest, MatchesBruteForce) {
+  const auto [k, theta] = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(k, 1200, 31 + k);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListMergeEngine engine(&index);
+  const auto queries = testutil::MakeQueries(store, 25, 55);
+  const RawDistance theta_raw = RawThreshold(theta, k);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(engine.Query(query, theta_raw),
+              testutil::BruteForce(store, query, theta_raw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListMergeEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u, 20u),
+                       ::testing::Values(0.0, 0.1, 0.2, 0.3)));
+
+TEST(ListMergeTest, ScansEveryEntryRegardlessOfThreshold) {
+  // The paper calls ListMerge threshold-agnostic: the lists are read fully.
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 32);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListMergeEngine engine(&index);
+  const auto queries = testutil::MakeQueries(store, 10, 33);
+
+  Statistics stats_low;
+  Statistics stats_high;
+  for (const auto& query : queries) {
+    engine.Query(query, RawThreshold(0.0, 10), &stats_low);
+    engine.Query(query, RawThreshold(0.3, 10), &stats_high);
+  }
+  EXPECT_EQ(stats_low.Get(Ticker::kPostingEntriesScanned),
+            stats_high.Get(Ticker::kPostingEntriesScanned));
+  // And it never calls the standalone distance function.
+  EXPECT_EQ(stats_low.Get(Ticker::kDistanceCalls), 0u);
+}
+
+TEST(ListMergeTest, ResultsComeOutIdSorted) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 500, 34);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListMergeEngine engine(&index);
+  const auto queries = testutil::MakeQueries(store, 10, 35);
+  for (const auto& query : queries) {
+    const auto results = engine.Query(query, RawThreshold(0.3, 10));
+    EXPECT_TRUE(std::is_sorted(results.begin(), results.end()));
+  }
+}
+
+TEST(ListMergeTest, HandlesQueryWithEmptyLists) {
+  const RankingStore store = testutil::MakeUniformStore(5, 100, 30, 36);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListMergeEngine engine(&index);
+  PreparedQuery query(
+      std::move(Ranking::Create({500, 501, 502, 503, 504})).ValueOrDie());
+  EXPECT_TRUE(engine.Query(query, RawThreshold(0.3, 5)).empty());
+}
+
+TEST(ListMergeTest, CountsEachCandidateOnce) {
+  RankingStore store(3);
+  store.AddUnchecked(std::vector<ItemId>{1, 2, 3});
+  store.AddUnchecked(std::vector<ItemId>{3, 2, 1});
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  ListMergeEngine engine(&index);
+  PreparedQuery query(std::move(Ranking::Create({1, 2, 3})).ValueOrDie());
+  Statistics stats;
+  engine.Query(query, MaxDistance(3), &stats);
+  // Both rankings share all items with the query; each is one candidate.
+  EXPECT_EQ(stats.Get(Ticker::kCandidates), 2u);
+  EXPECT_EQ(stats.Get(Ticker::kPostingEntriesScanned), 6u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,68 @@
+// Minimal F&V oracle: exact materialization and the paper's cost
+// accounting (one distance call per materialized ranking).
+
+#include "invidx/oracle_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+TEST(OracleIndexTest, ReturnsExactlyTheTrueResults) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 81);
+  const auto queries = testutil::MakeQueries(store, 20, 82);
+  const RawDistance theta_raw = RawThreshold(0.2, 10);
+  const OracleIndex oracle =
+      OracleIndex::BuildByScan(&store, queries, theta_raw);
+  ASSERT_EQ(oracle.num_queries(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(oracle.Query(i, queries[i], theta_raw),
+              testutil::BruteForce(store, queries[i], theta_raw));
+  }
+}
+
+TEST(OracleIndexTest, DistanceCallsEqualMaterializedListSizes) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 83);
+  const auto queries = testutil::MakeQueries(store, 20, 84);
+  const RawDistance theta_raw = RawThreshold(0.2, 10);
+  const OracleIndex oracle =
+      OracleIndex::BuildByScan(&store, queries, theta_raw);
+  Statistics stats;
+  size_t total_results = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    total_results += oracle.Query(i, queries[i], theta_raw, &stats).size();
+  }
+  // Oracle lists contain exactly the true results, so DFC == results.
+  EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), total_results);
+  EXPECT_EQ(stats.Get(Ticker::kResults), total_results);
+}
+
+TEST(OracleIndexTest, BuildFromPrecomputedLists) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 300, 85);
+  const auto queries = testutil::MakeQueries(store, 5, 86);
+  const RawDistance theta_raw = RawThreshold(0.1, 10);
+  std::vector<std::vector<RankingId>> truth;
+  for (const auto& query : queries) {
+    truth.push_back(testutil::BruteForce(store, query, theta_raw));
+  }
+  const OracleIndex oracle = OracleIndex::Build(&store, std::move(truth));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(oracle.Query(i, queries[i], theta_raw),
+              testutil::BruteForce(store, queries[i], theta_raw));
+  }
+}
+
+TEST(OracleIndexTest, MemoryUsageTracksLists) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 300, 87);
+  const auto queries = testutil::MakeQueries(store, 10, 88);
+  const OracleIndex small =
+      OracleIndex::BuildByScan(&store, queries, RawThreshold(0.0, 10));
+  const OracleIndex large =
+      OracleIndex::BuildByScan(&store, queries, RawThreshold(0.5, 10));
+  EXPECT_LE(small.MemoryUsage(), large.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,120 @@
+// Plain and augmented inverted indexes: structure, subset builds, the
+// visited-set scratch, and memory accounting.
+
+#include "invidx/plain_inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "invidx/augmented_inverted_index.h"
+#include "invidx/visited_set.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+TEST(PlainInvertedIndexTest, PostingListsAreIdSortedAndComplete) {
+  const RankingStore store = testutil::MakeUniformStore(5, 300, 60, 11);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  EXPECT_EQ(index.num_indexed(), store.size());
+  EXPECT_EQ(index.num_entries(), store.size() * 5);
+
+  size_t total = 0;
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    const auto list = index.list(item);
+    total += list.size();
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_TRUE(store.view(list[i]).Contains(item));
+      if (i > 0) {
+        EXPECT_LT(list[i - 1], list[i]);
+      }
+    }
+  }
+  EXPECT_EQ(total, store.size() * 5);
+}
+
+TEST(PlainInvertedIndexTest, EveryRankingReachableFromItsItems) {
+  const RankingStore store = testutil::MakeUniformStore(5, 100, 40, 12);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    for (ItemId item : store.view(id).items()) {
+      const auto list = index.list(item);
+      EXPECT_TRUE(std::find(list.begin(), list.end(), id) != list.end());
+    }
+  }
+}
+
+TEST(PlainInvertedIndexTest, OutOfRangeItemYieldsEmptyList) {
+  const RankingStore store = testutil::MakeUniformStore(5, 10, 20, 13);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  EXPECT_TRUE(index.list(store.max_item() + 1000).empty());
+}
+
+TEST(PlainInvertedIndexTest, SubsetBuildUsesSubsetPositions) {
+  const RankingStore store = testutil::MakeUniformStore(4, 50, 30, 14);
+  const std::vector<RankingId> subset = {5, 17, 33};
+  const PlainInvertedIndex index =
+      PlainInvertedIndex::BuildSubset(store, subset);
+  EXPECT_EQ(index.num_indexed(), 3u);
+  // Entries must be 0, 1 or 2 (positions within subset).
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    for (RankingId pos : index.list(item)) {
+      ASSERT_LT(pos, 3u);
+      EXPECT_TRUE(store.view(subset[pos]).Contains(item));
+    }
+  }
+}
+
+TEST(PlainInvertedIndexTest, MemoryUsagePositive) {
+  const RankingStore store = testutil::MakeUniformStore(5, 100, 50, 15);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  EXPECT_GT(index.MemoryUsage(), store.size() * 5 * sizeof(RankingId));
+}
+
+TEST(AugmentedInvertedIndexTest, EntriesCarryExactRanks) {
+  const RankingStore store = testutil::MakeUniformStore(6, 200, 50, 16);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    for (const AugmentedEntry& entry : index.list(item)) {
+      EXPECT_EQ(store.view(entry.id)[entry.rank], item);
+    }
+  }
+}
+
+TEST(AugmentedInvertedIndexTest, ListsAreIdSorted) {
+  const RankingStore store = testutil::MakeUniformStore(6, 200, 50, 17);
+  const AugmentedInvertedIndex index = AugmentedInvertedIndex::Build(store);
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    const auto list = index.list(item);
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1].id, list[i].id);
+    }
+  }
+}
+
+TEST(VisitedSetTest, TestAndSetSemantics) {
+  VisitedSet visited(10);
+  visited.NextEpoch();
+  EXPECT_FALSE(visited.Test(3));
+  EXPECT_FALSE(visited.TestAndSet(3));
+  EXPECT_TRUE(visited.Test(3));
+  EXPECT_TRUE(visited.TestAndSet(3));
+}
+
+TEST(VisitedSetTest, EpochResetIsCheapAndComplete) {
+  VisitedSet visited(100);
+  visited.NextEpoch();
+  for (uint32_t i = 0; i < 100; ++i) visited.TestAndSet(i);
+  visited.NextEpoch();
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_FALSE(visited.Test(i));
+}
+
+TEST(VisitedSetTest, EnsureCapacityGrows) {
+  VisitedSet visited(4);
+  visited.EnsureCapacity(1000);
+  visited.NextEpoch();
+  EXPECT_FALSE(visited.TestAndSet(999));
+  EXPECT_TRUE(visited.Test(999));
+}
+
+}  // namespace
+}  // namespace topk

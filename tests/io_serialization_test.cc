@@ -1,0 +1,139 @@
+// Persistence round trips and failure injection: bad magic, wrong kind,
+// truncation, bit corruption.
+
+#include "io/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cluster/bk_partitioner.h"
+#include "coarse/coarse_index.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializationTest, RankingStoreRoundTrip) {
+  const RankingStore original = testutil::MakeClusteredStore(10, 500, 301);
+  const std::string path = TempPath("store_roundtrip.topk");
+  ASSERT_TRUE(SaveRankingStore(original, path).ok());
+
+  auto loaded = LoadRankingStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const RankingStore& store = loaded.value();
+  ASSERT_EQ(store.size(), original.size());
+  ASSERT_EQ(store.k(), original.k());
+  for (RankingId id = 0; id < store.size(); ++id) {
+    for (uint32_t p = 0; p < store.k(); ++p) {
+      ASSERT_EQ(store.view(id)[p], original.view(id)[p]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, PartitioningRoundTripAndIndexRebuild) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 302);
+  const Partitioning original =
+      BkPartition(store, RawThreshold(0.3, 10), BkPartitionMode::kStrict);
+  const std::string path = TempPath("partitioning_roundtrip.topk");
+  ASSERT_TRUE(SavePartitioning(original, path).ok());
+
+  auto loaded = LoadPartitioning(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().partitions.size(), original.partitions.size());
+
+  // The loaded partitioning must yield a fully functional coarse index.
+  CoarseOptions options;
+  options.theta_c = 0.3;
+  const CoarseIndex index = CoarseIndex::BuildFromPartitioning(
+      &store, options, std::move(loaded).ValueOrDie());
+  const auto queries = testutil::MakeQueries(store, 10, 303);
+  const RawDistance theta_raw = RawThreshold(0.2, 10);
+  for (const auto& query : queries) {
+    EXPECT_EQ(index.Query(query, theta_raw),
+              testutil::BruteForce(store, query, theta_raw));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileReportsNotFound) {
+  auto result = LoadRankingStore(TempPath("does_not_exist.topk"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.topk");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a topk file at all, padding padding padding";
+  out.close();
+  auto result = LoadRankingStore(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, WrongKindRejected) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 50, 304);
+  const std::string path = TempPath("wrong_kind.topk");
+  ASSERT_TRUE(SaveRankingStore(store, path).ok());
+  auto result = LoadPartitioning(path);  // store file, partitioning loader
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("kind"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncationRejected) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 100, 305);
+  const std::string path = TempPath("truncated.topk");
+  ASSERT_TRUE(SaveRankingStore(store, path).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  auto result = LoadRankingStore(path);
+  ASSERT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BitCorruptionCaughtByChecksum) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 100, 306);
+  const std::string path = TempPath("corrupt.topk");
+  ASSERT_TRUE(SaveRankingStore(store, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 3] ^= 0x40;  // flip one payload bit
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  auto result = LoadRankingStore(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyStoreRoundTrips) {
+  RankingStore empty(7);
+  const std::string path = TempPath("empty.topk");
+  ASSERT_TRUE(SaveRankingStore(empty, path).ok());
+  auto loaded = LoadRankingStore(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  EXPECT_EQ(loaded.value().k(), 7u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,153 @@
+// BK-tree: structural invariants, range-query exactness, and the pruning
+// benefit on clustered data.
+
+#include "metric/bk_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/footrule.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+TEST(BkTreeTest, EdgeLabelsAreExactParentDistances) {
+  const RankingStore store = testutil::MakeClusteredStore(8, 500, 91);
+  const BkTree tree = BkTree::BuildAll(&store);
+  ASSERT_EQ(tree.size(), store.size());
+  const auto& nodes = tree.nodes();
+  for (uint32_t parent = 0; parent < nodes.size(); ++parent) {
+    for (uint32_t child = nodes[parent].first_child;
+         child != BkTree::kNoNode; child = nodes[child].next_sibling) {
+      EXPECT_EQ(nodes[child].parent_dist,
+                FootruleDistance(store.sorted(nodes[parent].id),
+                                 store.sorted(nodes[child].id)));
+    }
+  }
+}
+
+TEST(BkTreeTest, SiblingsHaveDistinctEdgeLabels) {
+  const RankingStore store = testutil::MakeClusteredStore(8, 500, 92);
+  const BkTree tree = BkTree::BuildAll(&store);
+  const auto& nodes = tree.nodes();
+  for (uint32_t parent = 0; parent < nodes.size(); ++parent) {
+    std::vector<RawDistance> labels;
+    for (uint32_t child = nodes[parent].first_child;
+         child != BkTree::kNoNode; child = nodes[child].next_sibling) {
+      labels.push_back(nodes[child].parent_dist);
+    }
+    std::sort(labels.begin(), labels.end());
+    EXPECT_TRUE(std::adjacent_find(labels.begin(), labels.end()) ==
+                labels.end())
+        << "two children share an edge label";
+  }
+}
+
+class BkTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double>> {};
+
+TEST_P(BkTreeEquivalenceTest, RangeQueryMatchesBruteForce) {
+  const auto [k, theta] = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(k, 1000, 93 + k);
+  const BkTree tree = BkTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 25, 94);
+  const RawDistance theta_raw = RawThreshold(theta, k);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(tree.RangeQuery(query.sorted_view(), theta_raw),
+              testutil::BruteForce(store, query, theta_raw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BkTreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u, 20u),
+                       ::testing::Values(0.0, 0.1, 0.2, 0.3)));
+
+TEST(BkTreeTest, PrunesDistanceCallsOnSelectiveQueries) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 3000, 95);
+  const BkTree tree = BkTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 10, 96);
+  Statistics stats;
+  for (const auto& query : queries) {
+    tree.RangeQuery(query.sorted_view(), RawThreshold(0.05, 10), &stats);
+  }
+  // Far fewer distance calls than a full scan would need.
+  EXPECT_LT(stats.Get(Ticker::kDistanceCalls),
+            queries.size() * store.size() / 2);
+}
+
+TEST(BkTreeTest, RootDistanceVariantAvoidsOneCall) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 300, 97);
+  const BkTree tree = BkTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 5, 98);
+  for (const auto& query : queries) {
+    const RawDistance root_dist = FootruleDistance(
+        query.sorted_view(), store.sorted(tree.nodes()[0].id));
+    std::vector<RankingId> with_root;
+    tree.RangeQueryWithRootDistance(query.sorted_view(),
+                                    RawThreshold(0.2, 10), root_dist,
+                                    nullptr, &with_root);
+    std::sort(with_root.begin(), with_root.end());
+    EXPECT_EQ(with_root,
+              tree.RangeQuery(query.sorted_view(), RawThreshold(0.2, 10)));
+  }
+}
+
+TEST(BkTreeTest, BuildOverSubsetQueriesOnlySubset) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 200, 99);
+  std::vector<RankingId> subset;
+  for (RankingId id = 0; id < store.size(); id += 3) subset.push_back(id);
+  const BkTree tree = BkTree::Build(&store, subset);
+  EXPECT_EQ(tree.size(), subset.size());
+  const auto queries = testutil::MakeQueries(store, 10, 100);
+  for (const auto& query : queries) {
+    const auto results =
+        tree.RangeQuery(query.sorted_view(), RawThreshold(0.3, 10));
+    for (RankingId id : results) {
+      EXPECT_TRUE(std::find(subset.begin(), subset.end(), id) !=
+                  subset.end());
+    }
+  }
+}
+
+TEST(BkTreeTest, EmptyTreeReturnsNothing) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 10, 101);
+  const BkTree tree = BkTree::Build(&store, {});
+  PreparedQuery query(
+      std::move(Ranking::Create({1, 2, 3, 4, 5})).ValueOrDie());
+  EXPECT_TRUE(tree.RangeQuery(query.sorted_view(), MaxDistance(5)).empty());
+}
+
+TEST(BkTreeTest, DuplicateRankingsChainAtDistanceZero) {
+  RankingStore store(4);
+  const ItemId row[] = {1, 2, 3, 4};
+  for (int i = 0; i < 5; ++i) store.AddUnchecked(row);
+  const BkTree tree = BkTree::BuildAll(&store);
+  PreparedQuery query(std::move(Ranking::Create({1, 2, 3, 4})).ValueOrDie());
+  EXPECT_EQ(tree.RangeQuery(query.sorted_view(), 0).size(), 5u);
+}
+
+TEST(BkTreeTest, FaithfulModeMatchesOptimizedModeResults) {
+  // Disabling the duplicate-distance reuse must never change results —
+  // only the distance-call count.
+  const RankingStore store = testutil::MakeClusteredStore(10, 800, 102);
+  const BkTree fast = BkTree::BuildAll(&store);
+  const BkTree faithful = BkTree::BuildAll(
+      &store, nullptr, BkTreeOptions{/*reuse_duplicate_distances=*/false});
+  const auto queries = testutil::MakeQueries(store, 10, 103);
+  for (double theta : {0.0, 0.1, 0.3}) {
+    const RawDistance theta_raw = RawThreshold(theta, 10);
+    for (const auto& query : queries) {
+      Statistics fast_stats;
+      Statistics faithful_stats;
+      EXPECT_EQ(fast.RangeQuery(query.sorted_view(), theta_raw, &fast_stats),
+                faithful.RangeQuery(query.sorted_view(), theta_raw,
+                                    &faithful_stats));
+      EXPECT_LE(fast_stats.Get(Ticker::kDistanceCalls),
+                faithful_stats.Get(Ticker::kDistanceCalls));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

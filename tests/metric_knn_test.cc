@@ -1,0 +1,125 @@
+// KNN queries (extension beyond the paper's range-only evaluation):
+// exactness of every searcher against the linear-scan oracle, pruning
+// effectiveness, and edge cases.
+
+#include "metric/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "coarse/coarse_index.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+class KnnEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, size_t>> {};
+
+TEST_P(KnnEquivalenceTest, AllSearchersMatchLinearScan) {
+  const auto [k, j] = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(k, 1000, 221);
+  const BkTree bk = BkTree::BuildAll(&store);
+  const MTree mt = MTree::BuildAll(&store);
+  CoarseOptions coarse_options;
+  coarse_options.theta_c = 0.3;
+  const CoarseIndex coarse = CoarseIndex::Build(&store, coarse_options);
+
+  const auto queries = testutil::MakeQueries(store, 15, 222);
+  for (const PreparedQuery& query : queries) {
+    const auto truth = LinearScanKnn(store, query, j);
+    EXPECT_EQ(BkTreeKnn(bk, query, j), truth) << "BK k=" << k << " j=" << j;
+    EXPECT_EQ(MTreeKnn(mt, query, j), truth) << "MT k=" << k << " j=" << j;
+    EXPECT_EQ(coarse.Knn(query, j), truth) << "Coarse k=" << k << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u),
+                       ::testing::Values(size_t{1}, size_t{5}, size_t{20},
+                                         size_t{100})));
+
+TEST(KnnTest, LinearScanOrdering) {
+  RankingStore store(3);
+  store.AddUnchecked(std::vector<ItemId>{1, 2, 3});  // id 0
+  store.AddUnchecked(std::vector<ItemId>{2, 1, 3});  // id 1, distance 2
+  store.AddUnchecked(std::vector<ItemId>{1, 2, 3});  // id 2, duplicate
+  store.AddUnchecked(std::vector<ItemId>{7, 8, 9});  // id 3, disjoint
+  const PreparedQuery query(
+      std::move(Ranking::Create({1, 2, 3})).ValueOrDie());
+  const auto nn = LinearScanKnn(store, query, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], (Neighbor{0, 0}));
+  EXPECT_EQ(nn[1], (Neighbor{2, 0}));  // tie broken by id
+  EXPECT_EQ(nn[2], (Neighbor{1, 2}));
+}
+
+TEST(KnnTest, JLargerThanCollectionReturnsEverything) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 50, 223);
+  const BkTree bk = BkTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 3, 224);
+  for (const auto& query : queries) {
+    const auto nn = BkTreeKnn(bk, query, 500);
+    EXPECT_EQ(nn.size(), store.size());
+    for (size_t i = 1; i < nn.size(); ++i) {
+      EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+    }
+  }
+}
+
+TEST(KnnTest, JZeroReturnsNothing) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 50, 225);
+  const BkTree bk = BkTree::BuildAll(&store);
+  const MTree mt = MTree::BuildAll(&store);
+  const PreparedQuery query(store.Materialize(0));
+  EXPECT_TRUE(BkTreeKnn(bk, query, 0).empty());
+  EXPECT_TRUE(MTreeKnn(mt, query, 0).empty());
+  EXPECT_TRUE(LinearScanKnn(store, query, 0).empty());
+}
+
+TEST(KnnTest, TreesPruneDistanceCallsForSmallJ) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 3000, 226);
+  const BkTree bk = BkTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 10, 227);
+  Statistics stats;
+  for (const auto& query : queries) BkTreeKnn(bk, query, 5, &stats);
+  EXPECT_LT(stats.Get(Ticker::kDistanceCalls),
+            queries.size() * store.size())
+      << "KNN must not degenerate into a full scan";
+}
+
+TEST(KnnTest, NeighborDistancesAreExact) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 500, 228);
+  const MTree mt = MTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 5, 229);
+  for (const auto& query : queries) {
+    for (const Neighbor& neighbor : MTreeKnn(mt, query, 10)) {
+      EXPECT_EQ(neighbor.distance,
+                FootruleDistance(query.sorted_view(),
+                                 store.sorted(neighbor.id)));
+    }
+  }
+}
+
+TEST(KnnTest, DuplicateHeavyCollection) {
+  RankingStore store(5);
+  const ItemId a[] = {1, 2, 3, 4, 5};
+  const ItemId b[] = {1, 2, 3, 5, 4};
+  for (int i = 0; i < 100; ++i) {
+    store.AddUnchecked(a);
+    store.AddUnchecked(b);
+  }
+  const BkTree bk = BkTree::BuildAll(&store);
+  const PreparedQuery query(std::move(Ranking::Create(
+                                std::vector<ItemId>(a, a + 5)))
+                                .ValueOrDie());
+  const auto nn = BkTreeKnn(bk, query, 150);
+  ASSERT_EQ(nn.size(), 150u);
+  // The 100 exact copies come first (distance 0, ids even), then 50 of
+  // the swapped variant (distance 2).
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(nn[i].distance, 0u);
+  for (size_t i = 100; i < 150; ++i) EXPECT_EQ(nn[i].distance, 2u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,112 @@
+// M-tree: invariants, exactness across promotion policies and node
+// capacities, and the parent-distance pruning.
+
+#include "metric/m_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+class MTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, int,
+                                                 uint32_t>> {};
+
+TEST_P(MTreeEquivalenceTest, RangeQueryMatchesBruteForce) {
+  const auto [k, theta, promotion_int, capacity] = GetParam();
+  MTreeOptions options;
+  options.node_capacity = capacity;
+  options.promotion = static_cast<MTreeOptions::Promotion>(promotion_int);
+  const RankingStore store = testutil::MakeClusteredStore(k, 800, 111 + k);
+  const MTree tree = MTree::BuildAll(&store, options);
+  EXPECT_EQ(tree.size(), store.size());
+  const auto queries = testutil::MakeQueries(store, 15, 112);
+  const RawDistance theta_raw = RawThreshold(theta, k);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(tree.RangeQuery(query.sorted_view(), theta_raw),
+              testutil::BruteForce(store, query, theta_raw))
+        << "k=" << k << " theta=" << theta << " promo=" << promotion_int
+        << " cap=" << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MTreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(5u, 10u),
+                       ::testing::Values(0.0, 0.1, 0.3),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(4u, 16u, 64u)));
+
+TEST(MTreeTest, InvariantsHoldAfterManyInserts) {
+  for (int promotion = 0; promotion < 3; ++promotion) {
+    MTreeOptions options;
+    options.node_capacity = 8;
+    options.promotion = static_cast<MTreeOptions::Promotion>(promotion);
+    const RankingStore store = testutil::MakeClusteredStore(8, 600, 113);
+    const MTree tree = MTree::BuildAll(&store, options);
+    EXPECT_TRUE(tree.CheckInvariants()) << "promotion=" << promotion;
+  }
+}
+
+TEST(MTreeTest, SmallCapacityStillExact) {
+  MTreeOptions options;
+  options.node_capacity = 2;  // worst case: maximal splitting
+  const RankingStore store = testutil::MakeClusteredStore(6, 200, 114);
+  const MTree tree = MTree::BuildAll(&store, options);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const auto queries = testutil::MakeQueries(store, 10, 115);
+  for (const auto& query : queries) {
+    EXPECT_EQ(tree.RangeQuery(query.sorted_view(), RawThreshold(0.2, 6)),
+              testutil::BruteForce(store, query, RawThreshold(0.2, 6)));
+  }
+}
+
+TEST(MTreeTest, HandlesDuplicateHeavyData) {
+  RankingStore store(5);
+  const ItemId a[] = {1, 2, 3, 4, 5};
+  const ItemId b[] = {5, 4, 3, 2, 1};
+  for (int i = 0; i < 50; ++i) {
+    store.AddUnchecked(a);
+    store.AddUnchecked(b);
+  }
+  MTreeOptions options;
+  options.node_capacity = 4;
+  const MTree tree = MTree::BuildAll(&store, options);
+  EXPECT_TRUE(tree.CheckInvariants());
+  PreparedQuery query(std::move(Ranking::Create({1, 2, 3, 4, 5})).ValueOrDie());
+  EXPECT_EQ(tree.RangeQuery(query.sorted_view(), 0).size(), 50u);
+}
+
+TEST(MTreeTest, PrunesDistanceCallsOnSelectiveQueries) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 3000, 116);
+  const MTree tree = MTree::BuildAll(&store);
+  const auto queries = testutil::MakeQueries(store, 10, 117);
+  Statistics stats;
+  for (const auto& query : queries) {
+    tree.RangeQuery(query.sorted_view(), RawThreshold(0.05, 10), &stats);
+  }
+  EXPECT_LT(stats.Get(Ticker::kDistanceCalls),
+            queries.size() * store.size());
+}
+
+TEST(MTreeTest, EmptyTreeReturnsNothing) {
+  const RankingStore store = testutil::MakeClusteredStore(5, 10, 118);
+  const MTree tree = MTree::Build(&store, {});
+  PreparedQuery query(
+      std::move(Ranking::Create({1, 2, 3, 4, 5})).ValueOrDie());
+  EXPECT_TRUE(tree.RangeQuery(query.sorted_view(), MaxDistance(5)).empty());
+}
+
+TEST(MTreeTest, MemoryUsageGrowsWithSize) {
+  const RankingStore small = testutil::MakeClusteredStore(8, 50, 119);
+  const RankingStore large = testutil::MakeClusteredStore(8, 2000, 119);
+  EXPECT_LT(MTree::BuildAll(&small).MemoryUsage(),
+            MTree::BuildAll(&large).MemoryUsage());
+}
+
+}  // namespace
+}  // namespace topk

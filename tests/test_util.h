@@ -1,0 +1,79 @@
+// Shared helpers for the test suite: small deterministic datasets and the
+// brute-force equivalence harness every algorithm is checked against.
+
+#ifndef TOPK_TESTS_TEST_UTIL_H_
+#define TOPK_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/footrule.h"
+#include "core/ranking.h"
+#include "core/rng.h"
+#include "core/types.h"
+#include "data/generator.h"
+#include "data/workload.h"
+
+namespace topk {
+namespace testutil {
+
+/// Uniform-random duplicate-free rankings (no cluster structure).
+inline RankingStore MakeUniformStore(uint32_t k, size_t n, uint32_t domain,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  RankingStore store(k);
+  std::vector<ItemId> items;
+  for (size_t i = 0; i < n; ++i) {
+    items.clear();
+    while (items.size() < k) {
+      const auto item = static_cast<ItemId>(rng.Below(domain));
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    store.AddUnchecked(items);
+  }
+  return store;
+}
+
+/// Clustered store exercising the near-duplicate structure the coarse
+/// index exploits.
+inline RankingStore MakeClusteredStore(uint32_t k, size_t n, uint64_t seed) {
+  GeneratorOptions options;
+  options.n = static_cast<uint32_t>(n);
+  options.k = k;
+  options.domain = std::max<uint32_t>(4 * k, static_cast<uint32_t>(n));
+  options.zipf_s = 0.8;
+  options.mean_cluster_size = 5.0;
+  options.seed = seed;
+  return Generate(options);
+}
+
+/// Ground truth by definition (direct Footrule scan, no index involved).
+inline std::vector<RankingId> BruteForce(const RankingStore& store,
+                                         const PreparedQuery& query,
+                                         RawDistance theta_raw) {
+  std::vector<RankingId> results;
+  for (RankingId id = 0; id < store.size(); ++id) {
+    if (FootruleDistance(query.sorted_view(), store.sorted(id)) <=
+        theta_raw) {
+      results.push_back(id);
+    }
+  }
+  return results;
+}
+
+/// Mixed workload: half perturbed copies of stored rankings, half fresh.
+inline std::vector<PreparedQuery> MakeQueries(const RankingStore& store,
+                                              size_t count, uint64_t seed) {
+  WorkloadOptions options;
+  options.num_queries = count;
+  options.perturbed_fraction = 0.5;
+  options.seed = seed;
+  return MakeWorkload(store, options);
+}
+
+}  // namespace testutil
+}  // namespace topk
+
+#endif  // TOPK_TESTS_TEST_UTIL_H_
