@@ -1,0 +1,136 @@
+// Minimal streaming JSON writer for the benchmark-baseline emitter.
+//
+// Just enough JSON for BENCH_baseline.json: objects, arrays, strings,
+// numbers, booleans, with commas and two-space indentation managed by a
+// nesting stack. Non-finite doubles serialize as null (JSON has no NaN).
+
+#ifndef TOPK_BENCH_JSON_WRITER_H_
+#define TOPK_BENCH_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace topk {
+namespace bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* os) : os_(os) {}
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& name) {
+    Separate();
+    WriteEscaped(name);
+    *os_ << ": ";
+    pending_key_ = true;
+  }
+
+  void String(const std::string& value) {
+    Separate();
+    WriteEscaped(value);
+  }
+  void Double(double value) {
+    Separate();
+    if (!std::isfinite(value)) {
+      *os_ << "null";
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    *os_ << buffer;
+  }
+  void Uint(uint64_t value) {
+    Separate();
+    *os_ << value;
+  }
+  void Bool(bool value) {
+    Separate();
+    *os_ << (value ? "true" : "false");
+  }
+
+ private:
+  struct Scope {
+    char close;
+    bool has_items = false;
+  };
+
+  void Open(char open) {
+    Separate();
+    *os_ << open;
+    scopes_.push_back({static_cast<char>(open == '{' ? '}' : ']')});
+  }
+
+  void Close(char close) {
+    const bool had_items = scopes_.back().has_items;
+    scopes_.pop_back();
+    if (had_items) {
+      *os_ << '\n';
+      Indent();
+    }
+    *os_ << close;
+  }
+
+  /// Emits the comma/newline/indent owed before a new value or key, unless
+  /// this value completes a `Key(...)` pair.
+  void Separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (scopes_.empty()) return;
+    if (scopes_.back().has_items) *os_ << ',';
+    *os_ << '\n';
+    scopes_.back().has_items = true;
+    Indent();
+  }
+
+  void Indent() {
+    for (size_t i = 0; i < scopes_.size(); ++i) *os_ << "  ";
+  }
+
+  void WriteEscaped(const std::string& text) {
+    *os_ << '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          *os_ << "\\\"";
+          break;
+        case '\\':
+          *os_ << "\\\\";
+          break;
+        case '\n':
+          *os_ << "\\n";
+          break;
+        case '\t':
+          *os_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            *os_ << buffer;
+          } else {
+            *os_ << c;
+          }
+      }
+    }
+    *os_ << '"';
+  }
+
+  std::ostream* os_;
+  std::vector<Scope> scopes_;
+  bool pending_key_ = false;
+};
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_JSON_WRITER_H_

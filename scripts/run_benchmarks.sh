@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the bench_baseline binary, emitting the
+# machine-readable benchmark baseline every perf PR measures against.
+#
+# Usage:
+#   scripts/run_benchmarks.sh                 # CI-scale run -> BENCH_baseline.json
+#   scripts/run_benchmarks.sh --full          # paper-scale collection sizes
+#   OUT=my.json BUILD_DIR=build-rel scripts/run_benchmarks.sh --queries=500
+#
+# Extra arguments are forwarded to bench_baseline (see bench/bench_util.h
+# for the knobs); explicit --nyt-n=/--yago-n=/--queries= override the
+# CI-scale defaults below.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_baseline.json}
+
+# CI-scale defaults: a few minutes on one core. Dropped when the caller
+# provides their own scaling knobs (or --full).
+DEFAULT_ARGS=(--nyt-n=6000 --yago-n=4000 --queries=100)
+for arg in "$@"; do
+  case "$arg" in
+    --nyt-n=*|--yago-n=*|--queries=*|--full) DEFAULT_ARGS=() ;;
+    --out=*) OUT=${arg#--out=} ;;
+  esac
+done
+
+# -DTOPK_SANITIZE= clears any sanitizer cached in an existing build dir:
+# an instrumented binary would record 5-10x inflated latencies as the
+# baseline.
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE=
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_baseline
+
+# ${arr[@]+...} keeps the empty-array expansion safe under set -u on
+# bash < 4.4 (macOS ships 3.2).
+"$BUILD_DIR/bench/bench_baseline" \
+  ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$OUT"
+echo "baseline written to $OUT"

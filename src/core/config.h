@@ -1,0 +1,28 @@
+// Build-configuration sanity checks shared by every translation unit.
+//
+// The library is C++20: core/ranking.h builds its zero-copy views on
+// std::span, and designated initializers / constexpr algorithms appear
+// throughout. Under a C++17 toolchain default the first symptom is ~100
+// cryptic "'span' does not name a template type" errors deep inside the
+// include graph, so fail here with one actionable message instead. The
+// build system pins the standard (target_compile_features(topk PUBLIC
+// cxx_std_20) in src/CMakeLists.txt); this check catches non-CMake
+// consumers compiling the sources directly.
+
+#ifndef TOPK_CORE_CONFIG_H_
+#define TOPK_CORE_CONFIG_H_
+
+// MSVC reports 199711L unless /Zc:__cplusplus is set; _MSVC_LANG always
+// carries the real standard there.
+#if defined(_MSVC_LANG)
+#define TOPK_CPLUSPLUS _MSVC_LANG
+#else
+#define TOPK_CPLUSPLUS __cplusplus
+#endif
+
+static_assert(TOPK_CPLUSPLUS >= 202002L,
+              "topk requires C++20 (std::span in core/ranking.h). Build with "
+              "-std=c++20, or via CMake, which pins cxx_std_20 on the topk "
+              "target.");
+
+#endif  // TOPK_CORE_CONFIG_H_

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/config.h"
+
 namespace topk {
 
 /// Identifier of an item appearing inside rankings. Items are dense
