@@ -1,0 +1,272 @@
+// bench_parallel: sharded parallel query-serving scaling study.
+//
+// Sweeps thread counts (1/2/4/8, shards == threads) per algorithm against
+// the sequential single-threaded runner, then ablates shard count and
+// placement strategy at a fixed thread budget, then measures k-NN
+// scaling. Every row verifies the parallel result multiset against the
+// sequential run's checksum — a speedup that changes answers is a bug,
+// not a result.
+//
+//   build/bench/bench_parallel                  # laptop scale
+//   build/bench/bench_parallel --out=par.json   # also emit JSON rows
+//
+// Shares --nyt-n=/--queries=/--seed= with the other benches. Thread
+// counts above the machine's core count are still measured (they show
+// the oversubscription plateau); hardware_concurrency is printed so the
+// numbers can be read in context.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/query_algorithms.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "json_writer.h"
+#include "metric/knn.h"
+#include "parallel_util.h"
+
+namespace topk {
+namespace {
+
+const Algorithm kScalingAlgorithms[] = {
+    Algorithm::kFV, Algorithm::kBlockedPruneDrop, Algorithm::kCoarse,
+    Algorithm::kLinearScan};
+
+struct JsonSink {
+  bench::JsonWriter* json = nullptr;  // null: table-only run
+
+  void Row(const char* section, const char* algorithm, size_t threads,
+           size_t shards, ShardingStrategy strategy, const RunResult& run,
+           double speedup, bool exact) {
+    if (json == nullptr) return;
+    json->BeginObject();
+    json->Key("section");
+    json->String(section);
+    json->Key("algorithm");
+    json->String(algorithm);
+    json->Key("threads");
+    json->Uint(threads);
+    json->Key("shards");
+    json->Uint(shards);
+    json->Key("strategy");
+    json->String(ShardingStrategyName(strategy));
+    json->Key("wall_ms");
+    json->Double(run.wall_ms);
+    json->Key("mean_ms_per_query");
+    json->Double(run.mean_ms_per_query());
+    json->Key("p99_ms");
+    json->Double(run.p99_ms);
+    json->Key("speedup_vs_sequential");
+    json->Double(speedup);
+    json->Key("exact_match");
+    json->Bool(exact);
+    json->EndObject();
+  }
+};
+
+void RunThreadSweep(const RankingStore& store,
+                    std::span<const PreparedQuery> queries,
+                    RawDistance theta_raw, JsonSink* sink) {
+  PrintBanner(std::cout, "Thread scaling (shards == threads, hash-by-id)");
+  TextTable table({"algorithm", "threads", "shards", "wall_ms", "mean_ms",
+                   "p99_ms", "speedup", "exact"});
+  EngineSuite suite(&store);
+  for (const Algorithm algorithm : kScalingAlgorithms) {
+    // Sequential reference: the plain single-threaded runner over the
+    // unsharded store — the baseline every speedup and checksum is
+    // measured against.
+    auto engine = suite.MakeEngine(algorithm);
+    const RunResult sequential = RunQueries(engine.get(), queries, theta_raw);
+    table.AddRow({AlgorithmName(algorithm), "seq", "-",
+                  FormatDouble(sequential.wall_ms),
+                  FormatDouble(sequential.mean_ms_per_query(), 4),
+                  FormatDouble(sequential.p99_ms, 4), "1.00", "ref"});
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      bench::ShardedRunConfig config{threads, threads,
+                                     ShardingStrategy::kHashById};
+      const RunResult run =
+          bench::RunSharded(store, queries, algorithm, theta_raw, config);
+      const double speedup = run.wall_ms > 0
+                                 ? sequential.wall_ms / run.wall_ms
+                                 : 0;
+      const bool exact = run.result_hash == sequential.result_hash &&
+                         run.total_results == sequential.total_results;
+      table.AddRow({AlgorithmName(algorithm), std::to_string(threads),
+                    std::to_string(threads), FormatDouble(run.wall_ms),
+                    FormatDouble(run.mean_ms_per_query(), 4),
+                    FormatDouble(run.p99_ms, 4), FormatDouble(speedup),
+                    exact ? "yes" : "NO"});
+      sink->Row("thread_sweep", AlgorithmName(algorithm), threads, threads,
+                config.strategy, run, speedup, exact);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void RunShardAblation(const RankingStore& store,
+                      std::span<const PreparedQuery> queries,
+                      RawDistance theta_raw, JsonSink* sink) {
+  PrintBanner(std::cout,
+              "Shard-count / placement ablation (4 threads, Coarse)");
+  TextTable table({"strategy", "threads", "shards", "wall_ms", "p99_ms",
+                   "speedup", "exact"});
+  EngineSuite suite(&store);
+  auto engine = suite.MakeEngine(Algorithm::kCoarse);
+  const RunResult sequential = RunQueries(engine.get(), queries, theta_raw);
+  for (const ShardingStrategy strategy :
+       {ShardingStrategy::kRoundRobin, ShardingStrategy::kHashById}) {
+    for (const size_t shards : {2u, 4u, 8u, 16u}) {
+      bench::ShardedRunConfig config{4, shards, strategy};
+      const RunResult run = bench::RunSharded(store, queries,
+                                              Algorithm::kCoarse, theta_raw,
+                                              config);
+      const double speedup =
+          run.wall_ms > 0 ? sequential.wall_ms / run.wall_ms : 0;
+      const bool exact = run.result_hash == sequential.result_hash &&
+                         run.total_results == sequential.total_results;
+      table.AddRow({ShardingStrategyName(strategy), "4",
+                    std::to_string(shards), FormatDouble(run.wall_ms),
+                    FormatDouble(run.p99_ms, 4), FormatDouble(speedup),
+                    exact ? "yes" : "NO"});
+      sink->Row("shard_ablation", AlgorithmName(Algorithm::kCoarse), 4,
+                shards, strategy, run, speedup, exact);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void RunKnnSweep(const RankingStore& store,
+                 std::span<const PreparedQuery> queries, JsonSink* sink) {
+  PrintBanner(std::cout, "k-NN scaling (j=10, shards == threads)");
+  TextTable table(
+      {"backend", "threads", "wall_ms", "speedup", "exact"});
+  constexpr size_t kJ = 10;
+  for (const Algorithm backend :
+       {Algorithm::kLinearScan, Algorithm::kBkTree, Algorithm::kMTree}) {
+    // Sequential reference over the unsharded store.
+    EngineSuite suite(&store);
+    uint64_t reference_hash = 0;
+    Stopwatch sequential_watch;
+    for (const PreparedQuery& query : queries) {
+      std::vector<Neighbor> neighbors;
+      switch (backend) {
+        case Algorithm::kBkTree:
+          neighbors = BkTreeKnn(suite.bk_tree(), query, kJ);
+          break;
+        case Algorithm::kMTree:
+          neighbors = MTreeKnn(suite.m_tree(), query, kJ);
+          break;
+        default:
+          neighbors = LinearScanKnn(store, query, kJ);
+          break;
+      }
+      for (const Neighbor& n : neighbors) {
+        reference_hash += MixId64(n.id) ^ MixId64(n.distance);
+      }
+    }
+    // Tree construction happens on first use inside the loop above for
+    // the sequential side; re-time without it.
+    sequential_watch.Restart();
+    for (const PreparedQuery& query : queries) {
+      switch (backend) {
+        case Algorithm::kBkTree:
+          BkTreeKnn(suite.bk_tree(), query, kJ);
+          break;
+        case Algorithm::kMTree:
+          MTreeKnn(suite.m_tree(), query, kJ);
+          break;
+        default:
+          LinearScanKnn(store, query, kJ);
+          break;
+      }
+    }
+    const double sequential_ms = sequential_watch.ElapsedMillis();
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      const ShardedStore sharded(store, threads,
+                                 ShardingStrategy::kHashById);
+      ParallelRunnerOptions options;
+      options.num_threads = threads;
+      ParallelRunner runner(&sharded, options);
+      // Build the per-shard trees outside the timed window (linear scan
+      // needs no index).
+      if (backend != Algorithm::kLinearScan) runner.Prepare(backend);
+      uint64_t hash = 0;
+      Stopwatch watch;
+      for (const PreparedQuery& query : queries) {
+        for (const Neighbor& n : runner.KnnQuery(backend, query, kJ)) {
+          hash += MixId64(n.id) ^ MixId64(n.distance);
+        }
+      }
+      const double wall_ms = watch.ElapsedMillis();
+      const double speedup = wall_ms > 0 ? sequential_ms / wall_ms : 0;
+      RunResult row;
+      row.wall_ms = wall_ms;
+      row.num_queries = queries.size();
+      table.AddRow({AlgorithmName(backend), std::to_string(threads),
+                    FormatDouble(wall_ms), FormatDouble(speedup),
+                    hash == reference_hash ? "yes" : "NO"});
+      sink->Row("knn_sweep", AlgorithmName(backend), threads, threads,
+                ShardingStrategy::kHashById, row, speedup,
+                hash == reference_hash);
+    }
+  }
+  table.Print(std::cout);
+}
+
+int Run(int argc, char** argv) {
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  bench::PrintHeader("Parallel sharded query serving", args);
+  std::cout << "# hardware_concurrency="
+            << std::thread::hardware_concurrency() << "\n";
+
+  const RankingStore store = bench::MakeNyt(args, 10);
+  const auto queries = bench::MakeBenchWorkload(store, args);
+  const RawDistance theta_raw = RawThreshold(0.3, store.k());
+
+  std::ofstream out;
+  std::optional<bench::JsonWriter> json;
+  JsonSink sink;
+  if (!out_path.empty()) {
+    out.open(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    json.emplace(&out);
+    json->BeginObject();
+    json->Key("schema_version");
+    json->Uint(1);
+    json->Key("hardware_concurrency");
+    json->Uint(std::thread::hardware_concurrency());
+    json->Key("rows");
+    json->BeginArray();
+    sink.json = &*json;
+  }
+
+  RunThreadSweep(store, queries, theta_raw, &sink);
+  RunShardAblation(store, queries, theta_raw, &sink);
+  RunKnnSweep(store, queries, &sink);
+
+  if (sink.json != nullptr) {
+    json->EndArray();
+    json->EndObject();
+    out << "\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) { return topk::Run(argc, argv); }

@@ -1,0 +1,40 @@
+// Shared scaffolding for the parallel scaling measurements: one sharded
+// workload run per (threads, shards, strategy) configuration, used by the
+// standalone bench_parallel binary and the parallel_scaling section of
+// bench_baseline.
+
+#ifndef TOPK_BENCH_PARALLEL_UTIL_H_
+#define TOPK_BENCH_PARALLEL_UTIL_H_
+
+#include <span>
+
+#include "harness/parallel_runner.h"
+#include "harness/runner.h"
+#include "harness/sharded_store.h"
+
+namespace topk {
+namespace bench {
+
+struct ShardedRunConfig {
+  size_t threads;
+  size_t shards;
+  ShardingStrategy strategy = ShardingStrategy::kHashById;
+};
+
+/// Shards `store`, builds the per-shard indexes (outside the timed
+/// window; RunQueries excludes preparation) and runs the workload.
+inline RunResult RunSharded(const RankingStore& store,
+                            std::span<const PreparedQuery> queries,
+                            Algorithm algorithm, RawDistance theta_raw,
+                            const ShardedRunConfig& config) {
+  const ShardedStore sharded(store, config.shards, config.strategy);
+  ParallelRunnerOptions options;
+  options.num_threads = config.threads;
+  ParallelRunner runner(&sharded, options);
+  return runner.RunQueries(algorithm, queries, theta_raw);
+}
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_PARALLEL_UTIL_H_

@@ -3,13 +3,16 @@
 // with respect to the currently issued query".
 //
 // We synthesize a query log's result rankings (NYT-like: skewed item
-// popularity, popular queries re-issued many times), index them with the
-// coarse index, and for a fresh query's result list retrieve all historic
-// queries whose results are similar enough to suggest.
+// popularity, popular queries re-issued many times), shard them, and
+// serve ad-hoc similarity queries through the parallel runner: every
+// query fans out across the shards on a fixed thread pool and the
+// per-shard answers are merged exactly (Coarse+Drop per shard).
 //
 //   build/examples/query_suggestion
 
+#include <algorithm>
 #include <iostream>
+#include <thread>
 
 #include "topk.h"
 
@@ -20,16 +23,25 @@ int main() {
   std::cout << "generating historic query-result rankings...\n";
   const RankingStore log = Generate(NytLikeOptions(30000, 10, 42));
 
-  // 2. Index once; serve ad-hoc similarity queries afterwards.
-  CoarseOptions options;
-  options.theta_c = 0.5;
-  options.drop = DropMode::kPositionRefined;  // Coarse+Drop
+  // 2. Shard the log and build one engine suite per shard. Hash placement
+  //    spreads the log's re-issued near-duplicate queries over all shards
+  //    instead of loading one.
+  const size_t num_threads =
+      std::max<size_t>(1, std::min<size_t>(
+                              4, std::thread::hardware_concurrency()));
+  ShardedStore shards(log, /*num_shards=*/4, ShardingStrategy::kHashById);
+  ParallelRunnerOptions options;
+  options.num_threads = num_threads;
+  // Match the paper's Coarse+Drop tuning used by this workload.
+  options.suite_config.coarse_drop_theta_c = 0.5;
+  ParallelRunner runner(&shards, options);
+
   Stopwatch build_watch;
-  const CoarseIndex index = CoarseIndex::Build(&log, options);
-  std::cout << "coarse index: " << index.num_partitions()
-            << " partitions over " << log.size() << " rankings, built in "
+  runner.Prepare(Algorithm::kCoarseDrop);  // builds all shards in parallel
+  std::cout << "coarse index: " << shards.num_shards() << " shards over "
+            << log.size() << " rankings, built in "
             << FormatDouble(build_watch.ElapsedMillis() / 1000.0, 2)
-            << " s, " << FormatMegabytes(index.MemoryUsage()) << " MB\n\n";
+            << " s, serving on " << runner.num_threads() << " threads\n\n";
 
   // 3. A "currently issued" query: the live engine returned this top-10
   //    list (here: a perturbed copy of some historic ranking).
@@ -43,14 +55,15 @@ int main() {
   for (size_t i = 0; i < current.size(); ++i) {
     Statistics stats;
     Stopwatch watch;
-    const auto similar =
-        index.Query(current[i], RawThreshold(theta, log.k()), &stats);
+    const auto similar = runner.RangeQuery(
+        Algorithm::kCoarseDrop, current[i], RawThreshold(theta, log.k()),
+        &stats);
     std::cout << "query #" << i << ": " << similar.size()
               << " historic queries with result-list distance <= " << theta
               << " (" << FormatDouble(watch.ElapsedMillis(), 3) << " ms, "
               << stats.Get(Ticker::kDistanceCalls) << " distance calls, "
               << stats.Get(Ticker::kPartitionsProbed)
-              << " partitions probed)\n";
+              << " partitions probed across shards)\n";
     // A real system would now surface the queries behind the top matches.
     for (size_t j = 0; j < similar.size() && j < 3; ++j) {
       const RawDistance d = FootruleDistance(current[i].sorted_view(),

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Builds (Release) and runs the bench_baseline binary, emitting the
-# machine-readable benchmark baseline every perf PR measures against.
+# machine-readable benchmark baseline every perf PR measures against,
+# then the bench_parallel scaling study (BENCH_parallel.json next to it).
 #
 # Usage:
 #   scripts/run_benchmarks.sh                 # CI-scale run -> BENCH_baseline.json
+#                                             #              + BENCH_parallel.json
 #   scripts/run_benchmarks.sh --full          # paper-scale collection sizes
 #   OUT=my.json BUILD_DIR=build-rel scripts/run_benchmarks.sh --queries=500
+#   PARALLEL_OUT= scripts/run_benchmarks.sh   # skip the parallel study
 #
-# Extra arguments are forwarded to bench_baseline (see bench/bench_util.h
+# Extra arguments are forwarded to both binaries (see bench/bench_util.h
 # for the knobs); explicit --nyt-n=/--yago-n=/--queries= override the
 # CI-scale defaults below.
 
@@ -16,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${OUT:-BENCH_baseline.json}
+PARALLEL_OUT=${PARALLEL_OUT-BENCH_parallel.json}
 
 # CI-scale defaults: a few minutes on one core. Dropped when the caller
 # provides their own scaling knobs (or --full).
@@ -31,10 +35,16 @@ done
 # an instrumented binary would record 5-10x inflated latencies as the
 # baseline.
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE=
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_baseline
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_baseline bench_parallel
 
 # ${arr[@]+...} keeps the empty-array expansion safe under set -u on
 # bash < 4.4 (macOS ships 3.2).
 "$BUILD_DIR/bench/bench_baseline" \
   ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$OUT"
 echo "baseline written to $OUT"
+
+if [[ -n "$PARALLEL_OUT" ]]; then
+  "$BUILD_DIR/bench/bench_parallel" \
+    ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$PARALLEL_OUT"
+  echo "parallel scaling written to $PARALLEL_OUT"
+fi

@@ -65,6 +65,13 @@ RankingId RankingStore::AddUnchecked(std::span<const ItemId> items) {
   return static_cast<RankingId>(size_ - 1);
 }
 
+void RankingStore::Reserve(size_t num_rankings) {
+  const size_t cells = num_rankings * k_;
+  items_.reserve(cells);
+  sorted_items_.reserve(cells);
+  sorted_ranks_.reserve(cells);
+}
+
 void RankingStore::AppendRow(std::span<const ItemId> items) {
   items_.insert(items_.end(), items.begin(), items.end());
 

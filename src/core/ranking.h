@@ -136,6 +136,11 @@ class RankingStore {
   /// Duplicate-freeness is still checked in debug builds.
   RankingId AddUnchecked(std::span<const ItemId> items);
 
+  /// Pre-allocates room for `num_rankings` rows. Bulk producers that know
+  /// the final size (shard builders, deserialization) call this once to
+  /// avoid growth reallocations of the three parallel arrays.
+  void Reserve(size_t num_rankings);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   uint32_t k() const { return k_; }

@@ -46,8 +46,12 @@ constexpr int kNumTickers = static_cast<int>(Ticker::kNumTickers);
 /// Name of a ticker for reports.
 const char* TickerName(Ticker ticker);
 
-/// Plain (single-threaded) counter block. All experiments in the paper are
-/// single-threaded query processing, so no atomics are needed.
+/// Plain counter block, intentionally without atomics: a Statistics is
+/// owned by exactly one thread while counting. Parallel execution gives
+/// every worker its own instance and the coordinator combines them with
+/// Merge/MergeFrom after the workers are joined (the thread-pool future
+/// handshake provides the happens-before edge), so the hot path stays a
+/// single unsynchronized add and TSan sees no shared mutable state.
 class Statistics {
  public:
   void Add(Ticker ticker, uint64_t count = 1) {
@@ -61,9 +65,21 @@ class Statistics {
     for (int i = 0; i < kNumTickers; ++i) tickers_[i] += other.tickers_[i];
   }
 
+  friend bool operator==(const Statistics&, const Statistics&) = default;
+
  private:
   std::array<uint64_t, kNumTickers> tickers_{};
 };
+
+/// Value-form merge. Ticker addition is unsigned-integer addition, so this
+/// is commutative and associative (wrap-around included): aggregating
+/// per-shard / per-thread blocks gives the same result in any combination
+/// order — the property the parallel runner relies on and
+/// core_statistics_test proves.
+inline Statistics Merge(Statistics a, const Statistics& b) {
+  a.MergeFrom(b);
+  return a;
+}
 
 /// Convenience: increments only when stats is non-null.
 inline void AddTicker(Statistics* stats, Ticker ticker, uint64_t count = 1) {

@@ -37,6 +37,17 @@ using RawDistance = uint64_t;
 inline constexpr RankingId kInvalidRankingId =
     std::numeric_limits<RankingId>::max();
 
+/// splitmix64 finalizer: cheap, well-mixed, stable across platforms.
+/// Shard placement (hash-by-id) and the order-insensitive result
+/// checksums in the harness both depend on this exact function, so it
+/// lives here rather than per-module.
+inline constexpr uint64_t MixId64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Largest possible raw Footrule distance between two size-k rankings:
 /// two disjoint rankings pay (k - p) for each position p on both sides,
 /// i.e. 2 * sum_{j=1..k} j = k*(k+1).

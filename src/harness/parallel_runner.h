@@ -1,0 +1,152 @@
+// Parallel query serving over a ShardedStore.
+//
+// Architecture: every shard owns a full EngineSuite, so each of the
+// paper's algorithms runs unchanged against its shard. A query fans out
+// across all shards on a reusable fixed-size ThreadPool (the calling
+// thread participates), and the per-shard answers are merged exactly:
+//
+//   range  per-shard result lists arrive ascending in shard-local id;
+//          mapping to global ids preserves order (see ShardedStore), so a
+//          k-way merge reproduces the single-store ascending id list
+//          bit-for-bit.
+//   k-NN   every shard returns its local j best by (distance, global id);
+//          the global j best is a subset of that union, so a heap merge
+//          that stops after j results — tightening the admission bound
+//          theta to the current j-th best distance as it goes, which cuts
+//          off each shard's sorted tail early — is exact.
+//
+// Accounting is aggregation-safe by construction: each shard task writes
+// only its own Statistics / PhaseTimes slot, and the coordinator merges
+// the slots after the fan-out joins (the pool's future handshake is the
+// happens-before edge). No ticker is ever shared between threads.
+//
+// The coordinator methods (RangeQuery / KnnQuery / RunQueries) are not
+// reentrant: one thread drives a ParallelRunner.
+
+#ifndef TOPK_HARNESS_PARALLEL_RUNNER_H_
+#define TOPK_HARNESS_PARALLEL_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "harness/query_algorithms.h"
+#include "harness/runner.h"
+#include "harness/sharded_store.h"
+#include "harness/thread_pool.h"
+#include "metric/knn.h"
+
+namespace topk {
+
+struct ParallelRunnerOptions {
+  /// Total threads doing query work, including the calling thread
+  /// (the pool spawns num_threads - 1 workers). 0 means "one per shard".
+  size_t num_threads = 0;
+  /// Forwarded to every per-shard EngineSuite.
+  EngineSuiteConfig suite_config;
+};
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(const ShardedStore* store,
+                          ParallelRunnerOptions options = {});
+
+  size_t num_shards() const { return store_->num_shards(); }
+  size_t num_threads() const { return num_threads_; }
+  const ShardedStore& store() const { return *store_; }
+
+  /// Per-shard suite access (benches inspect index build cost per shard).
+  EngineSuite& suite(size_t s) { return shards_[s]->suite; }
+
+  /// Builds the per-shard indexes and engines behind `algorithm`, one
+  /// shard per pool thread. Idempotent; called implicitly by the query
+  /// methods. kMinimalFV is workload-bound — use PrepareOracle.
+  void Prepare(Algorithm algorithm);
+
+  /// Materializes the per-shard Minimal-F&V oracles for this workload;
+  /// afterwards RangeQuery/RunQueries accept Algorithm::kMinimalFV with
+  /// query indexes into `queries`.
+  void PrepareOracle(std::span<const PreparedQuery> queries,
+                     RawDistance theta_raw);
+
+  /// Exact sharded range query; the returned global ids are ascending,
+  /// identical to the same engine over the unsharded store. `query_index`
+  /// only matters for kMinimalFV. Merged per-shard tickers/phases land in
+  /// `stats`/`phases` when non-null.
+  std::vector<RankingId> RangeQuery(Algorithm algorithm, size_t query_index,
+                                    const PreparedQuery& query,
+                                    RawDistance theta_raw,
+                                    Statistics* stats = nullptr,
+                                    PhaseTimes* phases = nullptr);
+
+  std::vector<RankingId> RangeQuery(Algorithm algorithm,
+                                    const PreparedQuery& query,
+                                    RawDistance theta_raw,
+                                    Statistics* stats = nullptr) {
+    return RangeQuery(algorithm, 0, query, theta_raw, stats, nullptr);
+  }
+
+  /// Exact sharded k-NN (kLinearScan, kBkTree or kMTree backends): the
+  /// min(j, size()) nearest rankings by (distance, global id), identical
+  /// to the unsharded searcher.
+  std::vector<Neighbor> KnnQuery(Algorithm algorithm,
+                                 const PreparedQuery& query, size_t j,
+                                 Statistics* stats = nullptr);
+
+  /// Sharded counterpart of RunQueries (harness/runner.h): runs the whole
+  /// workload, aggregating latencies, tickers and per-shard phase splits.
+  RunResult RunQueries(Algorithm algorithm,
+                       std::span<const PreparedQuery> queries,
+                       RawDistance theta_raw);
+
+ private:
+  struct ShardState {
+    ShardState(const RankingStore* shard_store, EngineSuiteConfig config)
+        : suite(shard_store, config) {}
+    EngineSuite suite;
+    std::map<Algorithm, std::unique_ptr<QueryEngine>> engines;
+    std::unique_ptr<QueryEngine> oracle;
+  };
+
+  /// Runs one query on every shard (range form), leaving shard s's global
+  /// ids in (*results)[s] and its tickers/phases in the s-th slots.
+  void FanOut(Algorithm algorithm, size_t query_index,
+              const PreparedQuery& query, RawDistance theta_raw,
+              std::vector<std::vector<RankingId>>* results,
+              std::vector<Statistics>* stats,
+              std::vector<PhaseTimes>* phases);
+
+  QueryEngine* engine(size_t s, Algorithm algorithm);
+
+  const ShardedStore* store_;
+  ParallelRunnerOptions options_;
+  size_t num_threads_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+
+  // Fan-out scratch, reused across queries (coordinator methods are
+  // single-threaded; each shard task touches only its own slot).
+  std::vector<std::vector<RankingId>> scratch_results_;
+  std::vector<Statistics> scratch_stats_;
+  std::vector<PhaseTimes> scratch_phases_;
+};
+
+/// Exact ascending merge of per-shard ascending id lists (exposed for the
+/// differential tests).
+std::vector<RankingId> MergeShardRangeResults(
+    std::span<const std::vector<RankingId>> per_shard);
+
+/// Exact theta-tightening merge of per-shard k-NN lists, each sorted by
+/// (distance, id): pops the global best until j results are admitted; a
+/// shard's remaining tail is discarded as soon as its head exceeds the
+/// tightened bound.
+std::vector<Neighbor> MergeShardKnnResults(
+    std::span<const std::vector<Neighbor>> per_shard, size_t j);
+
+}  // namespace topk
+
+#endif  // TOPK_HARNESS_PARALLEL_RUNNER_H_

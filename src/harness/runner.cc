@@ -16,6 +16,14 @@ double Percentile(const std::vector<double>& sorted, double q) {
 
 }  // namespace
 
+void FinalizeLatencyStats(std::vector<double>* latencies, RunResult* result) {
+  std::sort(latencies->begin(), latencies->end());
+  result->p50_ms = Percentile(*latencies, 0.50);
+  result->p95_ms = Percentile(*latencies, 0.95);
+  result->p99_ms = Percentile(*latencies, 0.99);
+  result->max_ms = latencies->empty() ? 0 : latencies->back();
+}
+
 RunResult RunQueries(QueryEngine* engine,
                      std::span<const PreparedQuery> queries,
                      RawDistance theta_raw) {
@@ -32,14 +40,11 @@ RunResult RunQueries(QueryEngine* engine,
                       &result.phases);
     latencies.push_back(per_query.ElapsedMillis());
     result.total_results += matches.size();
+    for (const RankingId id : matches) result.result_hash += MixId64(id);
   }
   result.wall_ms = total.ElapsedMillis();
 
-  std::sort(latencies.begin(), latencies.end());
-  result.p50_ms = Percentile(latencies, 0.50);
-  result.p95_ms = Percentile(latencies, 0.95);
-  result.p99_ms = Percentile(latencies, 0.99);
-  result.max_ms = latencies.empty() ? 0 : latencies.back();
+  FinalizeLatencyStats(&latencies, &result);
   return result;
 }
 

@@ -1,0 +1,47 @@
+#include "harness/sharded_store.h"
+
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace topk {
+
+const char* ShardingStrategyName(ShardingStrategy strategy) {
+  switch (strategy) {
+    case ShardingStrategy::kRoundRobin:
+      return "round_robin";
+    case ShardingStrategy::kHashById:
+      return "hash_by_id";
+  }
+  return "unknown";
+}
+
+ShardedStore::ShardedStore(const RankingStore& store, size_t num_shards,
+                           ShardingStrategy strategy)
+    : strategy_(strategy), k_(store.k()), size_(store.size()) {
+  TOPK_DCHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) shards_.emplace_back(k_);
+  global_ids_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    // Round-robin fills shards within one ranking of evenly; the hash is
+    // close to even for the sizes we shard. Reserving the even split
+    // avoids most growth reallocations either way.
+    shards_[s].Reserve(size_ / num_shards + 1);
+    global_ids_[s].reserve(size_ / num_shards + 1);
+  }
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const size_t s = strategy == ShardingStrategy::kRoundRobin
+                         ? id % num_shards
+                         : MixId64(id) % num_shards;
+    shards_[s].AddUnchecked(store.view(id).items());
+    global_ids_[s].push_back(id);
+  }
+}
+
+void ShardedStore::MapToGlobal(size_t s, std::vector<RankingId>* ids) const {
+  const std::vector<RankingId>& map = global_ids_[s];
+  for (RankingId& id : *ids) id = map[id];
+}
+
+}  // namespace topk

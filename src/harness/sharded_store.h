@@ -1,0 +1,73 @@
+// Partitioning of one RankingStore into N disjoint shards for parallel
+// query serving.
+//
+// Each shard is itself a plain RankingStore, so every existing index and
+// algorithm works unchanged on a shard; the ShardedStore keeps the
+// shard-local-id -> global-id mapping needed to report results in terms
+// of the original collection. Both placement strategies append rankings
+// to their shard in global-id order, so the mapping is strictly
+// increasing per shard — merging per-shard result lists (each ascending
+// in local id) therefore yields globally ascending ids with a plain
+// k-way merge, and shard-local (distance, id) KNN order coincides with
+// global (distance, id) order.
+
+#ifndef TOPK_HARNESS_SHARDED_STORE_H_
+#define TOPK_HARNESS_SHARDED_STORE_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace topk {
+
+enum class ShardingStrategy {
+  /// Ranking i goes to shard i % N: perfectly balanced, placement is a
+  /// pure function of insertion order.
+  kRoundRobin,
+  /// Ranking i goes to shard mix(i) % N (a splitmix64 finalizer):
+  /// placement is stable under re-partitioning with the same N and does
+  /// not correlate with insertion order (generators emit clustered
+  /// near-duplicates consecutively; hashing spreads a cluster over all
+  /// shards instead of loading one).
+  kHashById,
+};
+
+const char* ShardingStrategyName(ShardingStrategy strategy);
+
+class ShardedStore {
+ public:
+  /// Copies `store` into `num_shards` shards (num_shards >= 1; shards may
+  /// end up empty when num_shards > store.size(), which is legal).
+  ShardedStore(const RankingStore& store, size_t num_shards,
+               ShardingStrategy strategy);
+
+  size_t num_shards() const { return shards_.size(); }
+  ShardingStrategy strategy() const { return strategy_; }
+  uint32_t k() const { return k_; }
+
+  /// Total rankings across all shards (== source store size).
+  size_t size() const { return size_; }
+
+  const RankingStore& shard(size_t s) const { return shards_[s]; }
+
+  /// Global id of shard `s`'s local ranking `local`.
+  RankingId ToGlobal(size_t s, RankingId local) const {
+    return global_ids_[s][local];
+  }
+
+  /// Maps a shard-local ascending id list to global ids in place; the
+  /// output stays ascending (the local -> global map is increasing).
+  void MapToGlobal(size_t s, std::vector<RankingId>* ids) const;
+
+ private:
+  ShardingStrategy strategy_;
+  uint32_t k_;
+  size_t size_ = 0;
+  std::vector<RankingStore> shards_;
+  std::vector<std::vector<RankingId>> global_ids_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_HARNESS_SHARDED_STORE_H_

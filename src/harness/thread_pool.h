@@ -1,0 +1,146 @@
+// Fixed-size worker pool for parallel query serving.
+//
+// The pool is created once and reused across query batches: workers block
+// on a condition variable between tasks, so an idle pool costs nothing on
+// the query path. Two usage styles:
+//
+//   Submit(f)        enqueue one task, get a std::future for its result;
+//                    exceptions thrown inside f surface at future.get().
+//   ParallelFor(n,f) run f(0..n-1) across the pool *and* the calling
+//                    thread, return when all are done; the first exception
+//                    (if any) is rethrown on the caller.
+//
+// A pool constructed with 0 workers degrades to inline execution in
+// ParallelFor — that is the exact single-threaded code path, which makes
+// "1 thread" a fair baseline in scaling benchmarks (no queueing overhead
+// is charged to it).
+
+#ifndef TOPK_HARNESS_THREAD_POOL_H_
+#define TOPK_HARNESS_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace topk {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is valid: ParallelFor runs inline and
+  /// Submit executes on the calling thread at enqueue time).
+  explicit ThreadPool(size_t num_workers) {
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues `f` and returns a future for its result. Exceptions escape
+  /// through the future, never into the worker loop. With zero workers the
+  /// task runs synchronously here (the future is already ready).
+  template <typename F>
+  auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // packaged_task is move-only but std::function wants copyable targets;
+    // the shared_ptr wrapper is the standard bridge.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Runs `fn(i)` for every i in [0, n). The calling thread participates,
+  /// so a pool of W workers gives up to W+1-way parallelism. Returns after
+  /// every iteration finished; if any threw, the first captured exception
+  /// is rethrown (the remaining iterations still run to completion, so the
+  /// pool is reusable afterwards).
+  template <typename F>
+  void ParallelFor(size_t n, const F& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto state = std::make_shared<ParallelForState>();
+    auto drain = [state, n, &fn] {
+      for (size_t i; (i = state->next.fetch_add(1)) < n;) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mutex);
+          if (!state->error) state->error = std::current_exception();
+        }
+      }
+    };
+    // Helpers share one index counter with the caller, so whichever thread
+    // is free grabs the next iteration (work sharing, not static split).
+    const size_t helpers = std::min(workers_.size(), n - 1);
+    std::vector<std::future<void>> pending;
+    pending.reserve(helpers);
+    for (size_t i = 0; i < helpers; ++i) pending.push_back(Submit(drain));
+    drain();
+    for (std::future<void>& f : pending) f.get();
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  struct ParallelForState {
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_HARNESS_THREAD_POOL_H_

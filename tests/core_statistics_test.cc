@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "core/rng.h"
@@ -37,6 +38,52 @@ TEST(StatisticsTest, MergeAccumulates) {
   a.MergeFrom(b);
   EXPECT_EQ(a.Get(Ticker::kDistanceCalls), 5u);
   EXPECT_EQ(a.Get(Ticker::kListsDropped), 1u);
+}
+
+// The parallel runner combines per-shard / per-thread blocks in whatever
+// order tasks complete, so the merge must be order-insensitive. Ticker
+// addition is unsigned addition: commutative, associative, with the
+// default-constructed block as identity. Proved here over ALL tickers
+// with distinct per-ticker values (a symmetric counterexample would slip
+// through equal values).
+TEST(StatisticsTest, MergeIsCommutativeOnAllTickers) {
+  Statistics a;
+  Statistics b;
+  for (int i = 0; i < kNumTickers; ++i) {
+    a.Add(static_cast<Ticker>(i), static_cast<uint64_t>(3 * i + 1));
+    b.Add(static_cast<Ticker>(i), static_cast<uint64_t>(1000 - 7 * i));
+  }
+  EXPECT_EQ(Merge(a, b), Merge(b, a));
+}
+
+TEST(StatisticsTest, MergeIsAssociativeOnAllTickers) {
+  Statistics a;
+  Statistics b;
+  Statistics c;
+  for (int i = 0; i < kNumTickers; ++i) {
+    a.Add(static_cast<Ticker>(i), static_cast<uint64_t>(i + 1));
+    b.Add(static_cast<Ticker>(i), static_cast<uint64_t>(i * i));
+    c.Add(static_cast<Ticker>(i), static_cast<uint64_t>(5000 - 11 * i));
+  }
+  EXPECT_EQ(Merge(Merge(a, b), c), Merge(a, Merge(b, c)));
+  // MergeFrom agrees with the value form regardless of grouping.
+  Statistics left_fold = a;
+  left_fold.MergeFrom(b);
+  left_fold.MergeFrom(c);
+  EXPECT_EQ(left_fold, Merge(a, Merge(b, c)));
+}
+
+TEST(StatisticsTest, MergeIdentityAndOverflowWrap) {
+  Statistics a;
+  a.Add(Ticker::kDistanceCalls, 42);
+  EXPECT_EQ(Merge(a, Statistics{}), a);
+  EXPECT_EQ(Merge(Statistics{}, a), a);
+
+  // Even at wrap-around (unsigned overflow is defined), grouping does not
+  // matter — the merge stays associative in the degenerate extreme.
+  Statistics big;
+  big.Add(Ticker::kDistanceCalls, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(Merge(Merge(big, a), a), Merge(big, Merge(a, a)));
 }
 
 TEST(StatisticsTest, NullSafeHelper) {

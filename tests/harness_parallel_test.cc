@@ -1,0 +1,233 @@
+// Sharded parallel serving must be invisible in the results: for every
+// algorithm, every sharding strategy and shard count, range and k-NN
+// answers over the ShardedStore must equal the single-threaded oracle
+// (brute force / unsharded searcher) — including empty-result and
+// theta ~ dmax edge cases. Also covers the aggregation contract: merged
+// tickers, per-shard phase splits, and RunResult metadata.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/parallel_runner.h"
+#include "harness/sharded_store.h"
+#include "metric/knn.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+constexpr uint32_t kK = 8;
+constexpr size_t kN = 400;
+
+const Algorithm kRangeAlgorithms[] = {
+    Algorithm::kFV,           Algorithm::kFVDrop,
+    Algorithm::kListMerge,    Algorithm::kLaatPrune,
+    Algorithm::kBlockedPrune, Algorithm::kBlockedPruneDrop,
+    Algorithm::kCoarse,       Algorithm::kCoarseDrop,
+    Algorithm::kAdaptSearch,  Algorithm::kBkTree,
+    Algorithm::kMTree,        Algorithm::kLinearScan};
+
+const ShardingStrategy kStrategies[] = {ShardingStrategy::kRoundRobin,
+                                        ShardingStrategy::kHashById};
+
+class HarnessParallelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HarnessParallelTest, RangeResultsMatchSingleThreadedOracle) {
+  const size_t num_shards = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(kK, kN, 71);
+  const auto queries = testutil::MakeQueries(store, 5, 72);
+  // Up to dmax - 1: at theta == dmax exactly, the inverted-index engines'
+  // candidate enumeration (posting lists of shared items) excludes fully
+  // disjoint rankings by contract — the long-standing bound every
+  // differential suite uses.
+  const RawDistance thetas[] = {0, 3, RawThreshold(0.25, kK),
+                                MaxDistance(kK) - 1};
+
+  for (const ShardingStrategy strategy : kStrategies) {
+    const ShardedStore sharded(store, num_shards, strategy);
+    ASSERT_EQ(sharded.size(), store.size());
+    ParallelRunner runner(&sharded);
+    for (const Algorithm algorithm : kRangeAlgorithms) {
+      for (const RawDistance theta : thetas) {
+        for (const auto& query : queries) {
+          ASSERT_EQ(runner.RangeQuery(algorithm, query, theta),
+                    testutil::BruteForce(store, query, theta))
+              << AlgorithmName(algorithm) << " shards=" << num_shards
+              << " strategy=" << ShardingStrategyName(strategy)
+              << " theta=" << theta;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HarnessParallelTest, OracleEngineMatchesBruteForcePerShard) {
+  const size_t num_shards = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(kK, kN, 73);
+  const auto queries = testutil::MakeQueries(store, 4, 74);
+  const RawDistance theta = RawThreshold(0.2, kK);
+
+  const ShardedStore sharded(store, num_shards, ShardingStrategy::kHashById);
+  ParallelRunner runner(&sharded);
+  runner.PrepareOracle(queries, theta);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(runner.RangeQuery(Algorithm::kMinimalFV, i, queries[i], theta),
+              testutil::BruteForce(store, queries[i], theta));
+  }
+}
+
+TEST_P(HarnessParallelTest, EmptyResultOnDisjointQuery) {
+  const size_t num_shards = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(kK, kN, 75);
+  // Items far outside the generated domain: nothing overlaps, so with a
+  // sub-disjoint threshold every shard returns the empty list.
+  std::vector<ItemId> alien(kK);
+  for (uint32_t p = 0; p < kK; ++p) alien[p] = 1000000 + p;
+  const PreparedQuery query(
+      std::move(Ranking::Create(std::move(alien))).ValueOrDie());
+
+  const ShardedStore sharded(store, num_shards, ShardingStrategy::kRoundRobin);
+  ParallelRunner runner(&sharded);
+  for (const Algorithm algorithm : kRangeAlgorithms) {
+    EXPECT_TRUE(runner.RangeQuery(algorithm, query, 0).empty())
+        << AlgorithmName(algorithm) << " shards=" << num_shards;
+  }
+}
+
+TEST_P(HarnessParallelTest, ThetaAtDmaxReturnsWholeCollection) {
+  const size_t num_shards = GetParam();
+  // Domain of k + 2 forces every pair of rankings to share items, so the
+  // theta == dmax edge is exact for all engines (candidate enumeration
+  // covers the whole collection) and the merge must return every id.
+  const RankingStore store = testutil::MakeUniformStore(kK, 300, kK + 2, 76);
+  const auto queries = testutil::MakeQueries(store, 2, 77);
+
+  const ShardedStore sharded(store, num_shards, ShardingStrategy::kHashById);
+  ParallelRunner runner(&sharded);
+  std::vector<RankingId> everything(store.size());
+  for (RankingId id = 0; id < store.size(); ++id) everything[id] = id;
+  for (const Algorithm algorithm : kRangeAlgorithms) {
+    EXPECT_EQ(runner.RangeQuery(algorithm, queries[0], MaxDistance(kK)),
+              everything)
+        << AlgorithmName(algorithm) << " shards=" << num_shards;
+  }
+}
+
+TEST_P(HarnessParallelTest, KnnMatchesUnshardedSearcher) {
+  const size_t num_shards = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(kK, kN, 78);
+  const auto queries = testutil::MakeQueries(store, 3, 79);
+  const Algorithm backends[] = {Algorithm::kLinearScan, Algorithm::kBkTree,
+                                Algorithm::kMTree};
+  const size_t js[] = {0, 1, 7, kN + 10};
+
+  for (const ShardingStrategy strategy : kStrategies) {
+    const ShardedStore sharded(store, num_shards, strategy);
+    ParallelRunner runner(&sharded);
+    for (const Algorithm backend : backends) {
+      for (const size_t j : js) {
+        for (const auto& query : queries) {
+          ASSERT_EQ(runner.KnnQuery(backend, query, j),
+                    LinearScanKnn(store, query, j))
+              << AlgorithmName(backend) << " shards=" << num_shards
+              << " strategy=" << ShardingStrategyName(strategy) << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HarnessParallelTest, TickersAggregateExactlyAcrossShards) {
+  const size_t num_shards = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(kK, kN, 80);
+  const auto queries = testutil::MakeQueries(store, 1, 81);
+
+  const ShardedStore sharded(store, num_shards, ShardingStrategy::kRoundRobin);
+  ParallelRunner runner(&sharded);
+  // LinearScan computes exactly one distance per stored ranking, so the
+  // merged cross-shard ticker must equal the collection size regardless
+  // of the shard count.
+  Statistics stats;
+  runner.RangeQuery(Algorithm::kLinearScan, 0, queries[0], 5, &stats, nullptr);
+  EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), store.size());
+}
+
+TEST_P(HarnessParallelTest, RunQueriesReportsShardMetadata) {
+  const size_t num_shards = GetParam();
+  const RankingStore store = testutil::MakeClusteredStore(kK, kN, 82);
+  const auto queries = testutil::MakeQueries(store, 6, 83);
+  const RawDistance theta = RawThreshold(0.2, kK);
+
+  const ShardedStore sharded(store, num_shards, ShardingStrategy::kHashById);
+  ParallelRunner runner(&sharded);
+  const RunResult result =
+      runner.RunQueries(Algorithm::kCoarse, queries, theta);
+
+  EXPECT_EQ(result.num_queries, queries.size());
+  EXPECT_EQ(result.num_shards, num_shards);
+  EXPECT_EQ(result.num_threads, num_shards);  // default: one per shard
+  EXPECT_EQ(result.shard_phases.size(), num_shards);
+
+  size_t expected_results = 0;
+  for (const auto& query : queries) {
+    expected_results += testutil::BruteForce(store, query, theta).size();
+  }
+  EXPECT_EQ(result.total_results, expected_results);
+
+  // The aggregate phase split is exactly the sum of the per-shard splits.
+  PhaseTimes summed;
+  for (const PhaseTimes& phases : result.shard_phases) {
+    summed.MergeFrom(phases);
+  }
+  EXPECT_DOUBLE_EQ(result.phases.filter_ms, summed.filter_ms);
+  EXPECT_DOUBLE_EQ(result.phases.validate_ms, summed.validate_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, HarnessParallelTest,
+                         ::testing::Values(1, 2, 3, 7));
+
+TEST(ShardedStoreTest, ShardsPartitionTheCollection) {
+  const RankingStore store = testutil::MakeClusteredStore(6, 101, 84);
+  for (const ShardingStrategy strategy : kStrategies) {
+    const ShardedStore sharded(store, 4, strategy);
+    std::vector<bool> seen(store.size(), false);
+    size_t total = 0;
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      const RankingStore& shard = sharded.shard(s);
+      total += shard.size();
+      RankingId previous = 0;
+      for (RankingId local = 0; local < shard.size(); ++local) {
+        const RankingId global = sharded.ToGlobal(s, local);
+        ASSERT_LT(global, store.size());
+        EXPECT_FALSE(seen[global]) << "duplicate global id " << global;
+        seen[global] = true;
+        if (local > 0) {
+          // Strictly increasing local -> global map: the property the
+          // merge relies on.
+          EXPECT_GT(global, previous);
+        }
+        previous = global;
+        // The shard row is a verbatim copy of the source ranking.
+        EXPECT_TRUE(std::equal(shard.view(local).items().begin(),
+                               shard.view(local).items().end(),
+                               store.view(global).items().begin()));
+      }
+    }
+    EXPECT_EQ(total, store.size());
+  }
+}
+
+TEST(ShardedStoreTest, MoreShardsThanRankingsIsLegal) {
+  const RankingStore store = testutil::MakeUniformStore(5, 3, 40, 85);
+  const ShardedStore sharded(store, 7, ShardingStrategy::kRoundRobin);
+  ParallelRunner runner(&sharded);
+  const auto queries = testutil::MakeQueries(store, 2, 86);
+  for (const auto& query : queries) {
+    EXPECT_EQ(runner.RangeQuery(Algorithm::kFV, query, MaxDistance(5)),
+              testutil::BruteForce(store, query, MaxDistance(5)));
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,140 @@
+// ThreadPool unit tests: result/exception plumbing through Submit,
+// ParallelFor completeness independent of scheduling order, pool reuse
+// across batches, and a many-tiny-tasks stress case that the sanitizer CI
+// jobs (ASan/UBSan and TSan) run to catch data races in the pool itself.
+
+#include "harness/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace topk {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  std::future<int> result = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(result.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitWorksWithZeroWorkers) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::future<std::string> result =
+      pool.Submit([] { return std::string("inline"); });
+  EXPECT_EQ(result.get(), "inline");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> result = pool.Submit(
+      [] { throw std::runtime_error("worker exploded"); });
+  EXPECT_THROW(result.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfCompletionOrder) {
+  // Tasks finish in roughly reverse submission order (later tasks sleep
+  // less); every future must still hold its own task's value.
+  ThreadPool pool(4);
+  constexpr int kTasks = 8;
+  std::vector<std::future<int>> results;
+  results.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    results.push_back(pool.Submit([i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kTasks - i));
+      return i;
+    }));
+  }
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(results[i].get(), i);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWhenNoWorkers) {
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(5);
+  pool.ParallelFor(ran.size(),
+                   [&](size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstExceptionAndCompletesRest) {
+  ThreadPool pool(2);
+  constexpr size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  auto body = [&hits](size_t i) {
+    hits[i].fetch_add(1);
+    if (i == 13) throw std::runtime_error("iteration 13");
+  };
+  EXPECT_THROW(pool.ParallelFor(kN, body), std::runtime_error);
+  // Every iteration still ran (the pool does not abandon the batch), so
+  // the pool is in a clean, reusable state.
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 50; ++batch) {
+    const size_t n = 1 + static_cast<size_t>(batch % 7);
+    std::vector<int> out(n, -1);
+    pool.ParallelFor(n, [&out, batch](size_t i) {
+      out[i] = batch + static_cast<int>(i);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], batch + static_cast<int>(i))
+          << "batch=" << batch << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, StressManyTinyTasks) {
+  // Many tiny tasks through both entry points, exercising queue
+  // contention; the sanitizer jobs turn any race in the pool into a
+  // failure here.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  std::vector<std::future<void>> pending;
+  constexpr uint64_t kSubmitted = 2000;
+  pending.reserve(kSubmitted);
+  for (uint64_t i = 0; i < kSubmitted; ++i) {
+    pending.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  constexpr uint64_t kLooped = 5000;
+  pool.ParallelFor(kLooped, [&sum](size_t) { sum.fetch_add(1); });
+  for (std::future<void>& f : pending) f.get();
+  EXPECT_EQ(sum.load(), kSubmitted * (kSubmitted - 1) / 2 + kLooped);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+    // Destructor must wait for the single worker to drain the queue.
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace topk
