@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON artifacts and print per-section deltas.
+
+Tracks the perf trajectory across PRs: run the benches fresh, then compare
+against the committed artifact to see exactly which rows moved.
+
+Usage:
+  scripts/compare_benchmarks.py OLD.json NEW.json [options]
+
+Options:
+  --print-above=PCT   only print numeric deltas with |delta| >= PCT
+                      (default 5.0; use 0 to print everything)
+  --fail-above=PCT    exit 1 if any timing/throughput field (wall_ms,
+                      *_ms, ns_per_call, qps, mcalls_per_sec) moved by
+                      more than PCT percent (default: never fail — the
+                      diff is informational)
+
+Rows are matched structurally: a row's identity is its section (the JSON
+path of the array that holds it) plus all string/bool fields and the
+shape knobs (k, n, threads, shards, j, ...). Every other numeric field is
+compared and reported as a percent delta, so the script works for any
+BENCH_*.json the suite emits without per-file schemas.
+"""
+
+import json
+import sys
+
+# Integer fields that describe the experiment's shape (part of a row's
+# identity) rather than a measurement.
+ID_INT_FIELDS = {
+    "k", "n", "threads", "shards", "j", "queries", "schema_version",
+    "num_queries", "block", "batch_size",
+}
+
+# Float fields that are sweep knobs, not measurements: without these in
+# the identity, rows differing only by theta / repeat fraction collide
+# and get matched positionally.
+ID_FLOAT_FIELDS = {
+    "theta", "theta_c", "repeat_fraction", "repeat_zipf_s", "zipf_s",
+    "fraction", "radius",
+}
+
+# Fields whose regressions --fail-above should gate on (suffix or exact
+# match; mean_ms_per_query ends in "_per_query", not "_ms").
+TIMING_FIELDS = ("_ms", "ns_per_call", "qps", "mcalls_per_sec", "wall_ms",
+                 "mean_ms_per_query")
+
+
+def iter_rows(node, path=""):
+    """Yields (section_path, row_dict) for every dict inside an array."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from iter_rows(value, f"{path}/{key}" if path else key)
+    elif isinstance(node, list):
+        for element in node:
+            if isinstance(element, dict):
+                yield path, element
+            else:
+                yield from iter_rows(element, path)
+
+
+def is_identity_field(key, value):
+    if isinstance(value, bool) or isinstance(value, str):
+        return True
+    if isinstance(value, int) and key in ID_INT_FIELDS:
+        return True
+    if isinstance(value, float) and key in ID_FLOAT_FIELDS:
+        return True
+    return False
+
+
+def identity(section, row):
+    parts = [section]
+    for key in sorted(row):
+        if is_identity_field(key, row[key]):
+            parts.append(f"{key}={row[key]!r}")
+    return tuple(parts)
+
+
+def numeric_fields(row):
+    for key in sorted(row):
+        value = row[key]
+        if is_identity_field(key, value):
+            continue
+        if isinstance(value, (int, float)) and value is not None:
+            yield key, float(value)
+
+
+def label(key):
+    return " ".join(part for part in key[1:]) or "(row)"
+
+
+def main(argv):
+    print_above = 5.0
+    fail_above = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--print-above="):
+            print_above = float(arg.split("=", 1)[1])
+        elif arg.startswith("--fail-above="):
+            fail_above = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            sys.exit(f"unknown option: {arg}")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+
+    with open(paths[0]) as f:
+        old_doc = json.load(f)
+    with open(paths[1]) as f:
+        new_doc = json.load(f)
+
+    def collect(doc):
+        table = {}
+        for section, row in iter_rows(doc):
+            key = identity(section, row)
+            # Duplicate identities (repeated measurements) get an index.
+            while key in table:
+                key = key + ("dup",)
+            table[key] = (section, row)
+        return table
+
+    old_rows = collect(old_doc)
+    new_rows = collect(new_doc)
+
+    matched = sorted(set(old_rows) & set(new_rows))
+    only_old = sorted(set(old_rows) - set(new_rows))
+    only_new = sorted(set(new_rows) - set(old_rows))
+
+    worst = (0.0, None, None)  # |delta|, field, row label
+    gate_exceeded = []
+    current_section = None
+    printed = 0
+    for key in matched:
+        section, old_row = old_rows[key]
+        _, new_row = new_rows[key]
+        new_values = dict(numeric_fields(new_row))
+        for field, old_value in numeric_fields(old_row):
+            if field not in new_values:
+                continue
+            new_value = new_values[field]
+            if old_value == 0:
+                continue
+            delta = 100.0 * (new_value - old_value) / abs(old_value)
+            is_timing = any(field.endswith(t) or field == t
+                            for t in TIMING_FIELDS)
+            if is_timing and abs(delta) > worst[0]:
+                worst = (abs(delta), field, label(key))
+            if (fail_above is not None and is_timing
+                    and abs(delta) > fail_above):
+                gate_exceeded.append((key, field, delta))
+            if abs(delta) >= print_above:
+                if section != current_section:
+                    print(f"== {section} ==")
+                    current_section = section
+                print(f"  {label(key)}: {field} "
+                      f"{old_value:g} -> {new_value:g} ({delta:+.1f}%)")
+                printed += 1
+
+    for key in only_old:
+        print(f"-- only in {paths[0]}: {key[0]} {label(key)}")
+    for key in only_new:
+        print(f"++ only in {paths[1]}: {key[0]} {label(key)}")
+
+    print(f"== summary: {len(matched)} rows matched "
+          f"({printed} deltas >= {print_above:g}% printed), "
+          f"{len(only_old)} only-old, {len(only_new)} only-new", end="")
+    if worst[1] is not None:
+        print(f"; worst timing delta {worst[0]:.1f}% "
+              f"({worst[1]} @ {worst[2]})", end="")
+    print()
+
+    if gate_exceeded:
+        print(f"FAIL: {len(gate_exceeded)} timing deltas exceed "
+              f"{fail_above:g}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

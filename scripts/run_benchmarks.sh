@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Builds (Release) and runs the bench_baseline binary, emitting the
 # machine-readable benchmark baseline every perf PR measures against,
-# then the bench_parallel scaling study (BENCH_parallel.json next to it).
+# then the bench_parallel scaling study (BENCH_parallel.json next to it)
+# and the bench_serving cache study (BENCH_serving.json). Each fresh
+# artifact is diffed against the committed copy (HEAD) via
+# scripts/compare_benchmarks.py, so a run prints its own perf trajectory.
 #
 # Usage:
 #   scripts/run_benchmarks.sh                 # CI-scale run -> BENCH_baseline.json
-#                                             #              + BENCH_parallel.json
+#                                             # + BENCH_parallel.json + BENCH_serving.json
 #   scripts/run_benchmarks.sh --full          # paper-scale collection sizes
 #   OUT=my.json BUILD_DIR=build-rel scripts/run_benchmarks.sh --queries=500
 #   PARALLEL_OUT= scripts/run_benchmarks.sh   # skip the parallel study
+#   SERVING_OUT= scripts/run_benchmarks.sh    # skip the serving study
 #
-# Extra arguments are forwarded to both binaries (see bench/bench_util.h
+# Extra arguments are forwarded to all binaries (see bench/bench_util.h
 # for the knobs); explicit --nyt-n=/--yago-n=/--queries= override the
 # CI-scale defaults below.
 
@@ -20,6 +24,26 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${OUT:-BENCH_baseline.json}
 PARALLEL_OUT=${PARALLEL_OUT-BENCH_parallel.json}
+SERVING_OUT=${SERVING_OUT-BENCH_serving.json}
+
+# Prints per-section deltas of a fresh artifact against the copy
+# committed at HEAD (informational; skipped when python3/git/the
+# committed copy are unavailable, or with COMPARE=0 — CI sets that and
+# runs the comparison as its own visible step instead).
+COMPARE=${COMPARE:-1}
+compare_against_committed() {
+  local committed_name=$1 fresh=$2
+  [[ "$COMPARE" == "1" ]] || return 0
+  command -v python3 >/dev/null 2>&1 || return 0
+  command -v git >/dev/null 2>&1 || return 0
+  local committed_tmp
+  committed_tmp=$(mktemp)
+  if git show "HEAD:${committed_name}" >"$committed_tmp" 2>/dev/null; then
+    echo "--- ${committed_name}: deltas vs committed (HEAD) ---"
+    python3 scripts/compare_benchmarks.py "$committed_tmp" "$fresh" || true
+  fi
+  rm -f "$committed_tmp"
+}
 
 # CI-scale defaults: a few minutes on one core. Dropped when the caller
 # provides their own scaling knobs (or --full).
@@ -35,16 +59,26 @@ done
 # an instrumented binary would record 5-10x inflated latencies as the
 # baseline.
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE=
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_baseline bench_parallel
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_baseline bench_parallel bench_serving
 
 # ${arr[@]+...} keeps the empty-array expansion safe under set -u on
 # bash < 4.4 (macOS ships 3.2).
 "$BUILD_DIR/bench/bench_baseline" \
   ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$OUT"
 echo "baseline written to $OUT"
+compare_against_committed BENCH_baseline.json "$OUT"
 
 if [[ -n "$PARALLEL_OUT" ]]; then
   "$BUILD_DIR/bench/bench_parallel" \
     ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$PARALLEL_OUT"
   echo "parallel scaling written to $PARALLEL_OUT"
+  compare_against_committed BENCH_parallel.json "$PARALLEL_OUT"
+fi
+
+if [[ -n "$SERVING_OUT" ]]; then
+  "$BUILD_DIR/bench/bench_serving" \
+    ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$SERVING_OUT"
+  echo "serving study written to $SERVING_OUT"
+  compare_against_committed BENCH_serving.json "$SERVING_OUT"
 fi

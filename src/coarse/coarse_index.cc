@@ -64,27 +64,29 @@ CoarseIndex CoarseIndex::BuildFromPartitioning(const RankingStore* store,
   }
   index.medoid_index_ = PlainInvertedIndex::BuildSubset(*store,
                                                         index.medoids_);
-  index.visited_.EnsureCapacity(index.medoids_.size());
   return index;
 }
 
 std::vector<RankingId> CoarseIndex::Query(const PreparedQuery& query,
                                           RawDistance theta_raw,
+                                          CoarseScratch* scratch,
                                           Statistics* stats,
                                           PhaseTimes* phases) const {
   const uint32_t k = store_->k();
   Stopwatch watch;
 
   // --- Filter phase: find medoids within theta + radius of the query. ---
-  visited_.NextEpoch();
-  candidates_.clear();
+  scratch->visited.EnsureCapacity(medoids_.size());
+  scratch->visited.NextEpoch();
+  std::vector<uint32_t>& candidates = scratch->candidates;
+  candidates.clear();
   const RawDistance relaxed = theta_raw + max_radius_;
   if (relaxed >= MaxDistance(k)) {
     // Medoids sharing no item with the query could qualify but are
     // invisible to the inverted index: scan the medoid set instead.
-    candidates_.resize(medoids_.size());
+    candidates.resize(medoids_.size());
     for (uint32_t pid = 0; pid < medoids_.size(); ++pid) {
-      candidates_[pid] = pid;
+      candidates[pid] = pid;
     }
   } else {
     const std::vector<uint32_t> positions = SelectLists(
@@ -95,11 +97,11 @@ std::vector<RankingId> CoarseIndex::Query(const PreparedQuery& query,
       const auto list = medoid_index_.list(query.view()[pos]);
       AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
       for (RankingId pid : list) {
-        if (!visited_.TestAndSet(pid)) candidates_.push_back(pid);
+        if (!scratch->visited.TestAndSet(pid)) candidates.push_back(pid);
       }
     }
   }
-  AddTicker(stats, Ticker::kCandidates, candidates_.size());
+  AddTicker(stats, Ticker::kCandidates, candidates.size());
 
   // Distance check on retrieved medoids still belongs to the filter cost
   // in the paper's model (Table 3, "Find medoids for query").
@@ -109,7 +111,7 @@ std::vector<RankingId> CoarseIndex::Query(const PreparedQuery& query,
   };
   std::vector<Probe> probes;
   const SortedRankingView q = query.sorted_view();
-  for (uint32_t pid : candidates_) {
+  for (uint32_t pid : candidates) {
     AddTicker(stats, Ticker::kDistanceCalls);
     const RawDistance d = FootruleDistance(q, store_->sorted(medoids_[pid]));
     if (d <= theta_raw + partitioning_.partitions[pid].radius) {

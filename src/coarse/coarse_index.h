@@ -53,6 +53,15 @@ struct CoarseOptions {
   uint64_t seed = 42;
 };
 
+/// Per-caller query scratch (medoid dedup set + candidate list). The index
+/// itself is immutable after Build, so concurrent queries are race-free as
+/// long as each thread brings its own CoarseScratch — the serving layer's
+/// inter-query parallelism relies on exactly this.
+struct CoarseScratch {
+  VisitedSet visited{0};
+  std::vector<uint32_t> candidates;
+};
+
 class CoarseIndex {
  public:
   /// Builds the partitioning, the per-partition BK-trees and the medoid
@@ -69,11 +78,22 @@ class CoarseIndex {
                                            Statistics* stats = nullptr);
 
   /// Exact range query; `phases` (optional) receives the filter/validate
-  /// wall-time split reported in Figures 3 and 7.
+  /// wall-time split reported in Figures 3 and 7. Uses the index's
+  /// internal scratch: callers sharing one CoarseIndex across threads must
+  /// use the external-scratch overload instead.
   std::vector<RankingId> Query(const PreparedQuery& query,
                                RawDistance theta_raw,
                                Statistics* stats = nullptr,
-                               PhaseTimes* phases = nullptr) const;
+                               PhaseTimes* phases = nullptr) const {
+    return Query(query, theta_raw, &scratch_, stats, phases);
+  }
+
+  /// Same query, but with caller-provided scratch: safe to call from many
+  /// threads concurrently on one index (one scratch per thread).
+  std::vector<RankingId> Query(const PreparedQuery& query,
+                               RawDistance theta_raw, CoarseScratch* scratch,
+                               Statistics* stats,
+                               PhaseTimes* phases) const;
 
   /// Exact j-nearest-neighbour query (extension; the paper evaluates
   /// range queries only). Partitions are probed best-first by the
@@ -90,7 +110,7 @@ class CoarseIndex {
 
  private:
   CoarseIndex(const RankingStore* store, const CoarseOptions& options)
-      : store_(store), options_(options), visited_(0) {}
+      : store_(store), options_(options) {}
 
   const RankingStore* store_;
   CoarseOptions options_;
@@ -99,8 +119,7 @@ class CoarseIndex {
   PlainInvertedIndex medoid_index_;  // posting entries are partition indices
   std::vector<BkTree> trees_;        // one BK-tree per partition
   RawDistance max_radius_ = 0;
-  mutable VisitedSet visited_;
-  mutable std::vector<uint32_t> candidates_;
+  mutable CoarseScratch scratch_;  // backs the scratch-less Query overload
 };
 
 }  // namespace topk

@@ -91,6 +91,22 @@ void RankingStore::AppendRow(std::span<const ItemId> items) {
   ++size_;
 }
 
+uint64_t SequenceFingerprint(std::span<const ItemId> items) {
+  // Chained absorb: each step mixes the running state with the next item,
+  // so position matters; seeding with the length separates prefixes.
+  uint64_t h = 0x9ae16a3b2f90404full ^ items.size();
+  for (const ItemId item : items) h = MixId64(h ^ MixId64(item));
+  return h;
+}
+
+uint64_t ItemSetFingerprint(std::span<const ItemId> items) {
+  // Commutative combine (wrapping sum of per-item mixes), finalized with
+  // the set size so {0} and {} cannot collide via the zero sum.
+  uint64_t sum = 0;
+  for (const ItemId item : items) sum += MixId64(0x517cc1b727220a95ull ^ item);
+  return MixId64(sum ^ items.size());
+}
+
 Ranking RankingStore::Materialize(RankingId id) const {
   RankingView v = view(id);
   std::vector<ItemId> items(v.items().begin(), v.items().end());

@@ -26,6 +26,18 @@ const char* TickerName(Ticker ticker) {
       return "tree_nodes_visited";
     case Ticker::kResults:
       return "results";
+    case Ticker::kResultCacheHits:
+      return "result_cache_hits";
+    case Ticker::kResultCacheMisses:
+      return "result_cache_misses";
+    case Ticker::kResultCacheEvictions:
+      return "result_cache_evictions";
+    case Ticker::kCandidateCacheHits:
+      return "candidate_cache_hits";
+    case Ticker::kCandidateCacheMisses:
+      return "candidate_cache_misses";
+    case Ticker::kCandidateCacheEvictions:
+      return "candidate_cache_evictions";
     case Ticker::kNumTickers:
       break;
   }

@@ -38,6 +38,16 @@ enum class Ticker : int {
   kTreeNodesVisited,
   /// Final results returned.
   kResults,
+  /// Serving-layer result cache (src/serve): exact answers served without
+  /// touching any engine.
+  kResultCacheHits,
+  kResultCacheMisses,
+  kResultCacheEvictions,
+  /// Serving-layer candidate cache: filter phases skipped because the
+  /// memoized candidate superset for the query's item set was reused.
+  kCandidateCacheHits,
+  kCandidateCacheMisses,
+  kCandidateCacheEvictions,
   kNumTickers
 };
 

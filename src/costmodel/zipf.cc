@@ -42,6 +42,16 @@ uint64_t ZipfSampler::Sample(Rng* rng) const {
   return static_cast<uint64_t>(it - cdf_.begin());
 }
 
+uint64_t ZipfSampler::SampleBelow(Rng* rng, uint64_t bound) const {
+  TOPK_DCHECK(bound >= 1 && bound <= cdf_.size());
+  // Inverse-CDF over the truncated prefix: scaling u by the prefix mass
+  // renormalizes without touching the table.
+  const double u = rng->NextDouble() * cdf_[bound - 1];
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.begin() + bound, u);
+  const auto rank = static_cast<uint64_t>(it - cdf_.begin());
+  return rank < bound ? rank : bound - 1;  // floating-point edge guard
+}
+
 double EstimateZipfSkew(std::span<const uint64_t> frequencies) {
   std::vector<uint64_t> nonzero;
   nonzero.reserve(frequencies.size());

@@ -35,6 +35,11 @@ class ZipfSampler {
   ZipfSampler(double s, uint64_t num_items);
 
   uint64_t Sample(Rng* rng) const;
+  /// Draws from the law truncated (and renormalized) to ranks [0, bound)
+  /// with 1 <= bound <= num_items() — identical to rejection-sampling
+  /// Sample() until it lands below `bound`, but in one draw. The workload
+  /// generator uses this to re-issue over a growing distinct-query pool.
+  uint64_t SampleBelow(Rng* rng, uint64_t bound) const;
   double s() const { return s_; }
   uint64_t num_items() const { return cdf_.size(); }
 

@@ -1,8 +1,10 @@
 #include "data/workload.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/rng.h"
+#include "costmodel/zipf.h"
 #include "data/dataset_stats.h"
 
 namespace topk {
@@ -45,11 +47,36 @@ std::vector<PreparedQuery> MakeWorkload(const RankingStore& store,
   const FrequencySampler sampler(store);
   const uint32_t k = store.k();
 
+  // Re-issue machinery (repeat_fraction > 0 only — the guard keeps the
+  // RNG consumption, and therefore the generated stream, bit-identical to
+  // older workloads when the knob is off).
+  std::optional<ZipfSampler> repeat_sampler;
+  if (options.repeat_fraction > 0) {
+    repeat_sampler.emplace(options.repeat_zipf_s,
+                           std::max<uint64_t>(options.num_queries, 1));
+  }
+  std::vector<size_t> distinct;  // indices into `queries` of first issues
+
   std::vector<PreparedQuery> queries;
   queries.reserve(options.num_queries);
   std::vector<ItemId> items;
   for (size_t i = 0; i < options.num_queries; ++i) {
     items.clear();
+    if (options.repeat_fraction > 0 && !distinct.empty() &&
+        rng.NextDouble() < options.repeat_fraction) {
+      // Exact re-issue of an earlier distinct query, Zipf-ranked by issue
+      // order (rank 0 = most popular). The sampler covers the maximum
+      // possible pool; the truncated draw renormalizes the law onto the
+      // queries issued so far in a single inversion (equivalent to
+      // rejection sampling, without its O(pool/issued) draws at low skew).
+      const uint64_t rank = repeat_sampler->SampleBelow(&rng,
+                                                        distinct.size());
+      const auto target = queries[distinct[rank]].view().items();
+      items.assign(target.begin(), target.end());
+      queries.emplace_back(
+          std::move(Ranking::Create(items)).ValueOrDie());
+      continue;
+    }
     if (rng.NextDouble() < options.perturbed_fraction) {
       // Perturbed copy of a stored ranking.
       const auto id = static_cast<RankingId>(rng.Below(store.size()));
@@ -79,6 +106,7 @@ std::vector<PreparedQuery> MakeWorkload(const RankingStore& store,
         }
       }
     }
+    distinct.push_back(queries.size());
     queries.emplace_back(
         std::move(Ranking::Create(items)).ValueOrDie());
   }

@@ -25,6 +25,16 @@ struct WorkloadOptions {
   /// Perturbation ops for the perturbed queries.
   uint32_t perturb_ops = 2;
   uint64_t seed = 99;
+  /// Fraction of queries that exactly re-issue an earlier query of the
+  /// stream — the repetition structure of real query logs that serving-
+  /// layer caches exploit. 0 disables the mechanism entirely (the stream
+  /// is bit-identical to workloads generated before the knob existed).
+  double repeat_fraction = 0.0;
+  /// Popularity skew of the re-issues: the target is drawn Zipf(s) over
+  /// the distinct queries issued so far, so rank-0 (the first distinct
+  /// query) is re-issued most. Higher s concentrates repeats on fewer
+  /// distinct queries.
+  double repeat_zipf_s = 1.0;
 };
 
 std::vector<PreparedQuery> MakeWorkload(const RankingStore& store,

@@ -106,11 +106,14 @@ class CoarseAdapter : public QueryEngine {
   std::vector<RankingId> Query(size_t, const PreparedQuery& query,
                                RawDistance theta_raw, Statistics* stats,
                                PhaseTimes* phases) override {
-    return index_->Query(query, theta_raw, stats, phases);
+    // Adapter-owned scratch: engines made from one suite can query the
+    // shared (immutable) coarse index from different threads.
+    return index_->Query(query, theta_raw, &scratch_, stats, phases);
   }
 
  private:
   const CoarseIndex* index_;
+  CoarseScratch scratch_;
 };
 
 class AdaptAdapter : public QueryEngine {

@@ -1,0 +1,83 @@
+// Candidate-set cache for the serving layer: memoizes the plain-F&V
+// filter output (the deduplicated union of the query items' posting
+// lists) keyed by the query's *item set*.
+//
+// Why this is exact (Section 4 of the paper gives the filter/validate
+// contract): the posting-list union depends only on which items the query
+// contains — not on their order — and it is a superset of the exact
+// answer for any theta_raw < dmax, because a ranking sharing no item with
+// the query sits at exactly dmax. A near-duplicate query that permutes
+// positions (the dominant edit in re-issued query logs) therefore reuses
+// the memoized candidates and pays only the validation scan; the final
+// answer is exact because validation computes true Footrule distances.
+// Requests with theta_raw >= dmax must bypass this cache (the frontend
+// does), since then even disjoint rankings qualify.
+//
+// Scope: the frontend routes only union-validating algorithms through
+// this cache (F&V, whose validation set IS the union, and LinearScan,
+// whose full scan the union undercuts). Pruning engines validate fewer
+// candidates than the full union, so reusing it would cost more distance
+// calls than the skipped filter saves — measured in BENCH_serving.json's
+// cache_ablation section.
+//
+// Hit/miss/eviction counts use the kCandidateCache* tickers.
+
+#ifndef TOPK_SERVE_CANDIDATE_CACHE_H_
+#define TOPK_SERVE_CANDIDATE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/statistics.h"
+#include "core/types.h"
+#include "serve/fingerprint.h"
+#include "serve/lru_cache.h"
+
+namespace topk {
+
+/// Candidate sets are large (a posting union often spans a sizeable
+/// fraction of the store), so the cache stores them behind a shared_ptr:
+/// a hit hands out a reference under the shard lock instead of copying
+/// thousands of ids, and an entry evicted mid-validation stays alive for
+/// the reader that holds it.
+using CandidateList = std::shared_ptr<const std::vector<RankingId>>;
+
+class CandidateCache {
+ public:
+  CandidateCache(size_t capacity, size_t num_shards)
+      : cache_(capacity, num_shards) {}
+
+  bool enabled() const { return cache_.enabled(); }
+
+  /// Hands out the memoized candidate ids (ascending) for the query's
+  /// item set; ticks kCandidateCacheHits/Misses.
+  bool Lookup(const CandidateCacheKey& key, uint64_t epoch,
+              CandidateList* out, Statistics* stats) {
+    const bool hit = cache_.Lookup(key, epoch, out);
+    AddTicker(stats, hit ? Ticker::kCandidateCacheHits
+                         : Ticker::kCandidateCacheMisses);
+    return hit;
+  }
+
+  /// `candidates` must be the complete posting-list union for the item
+  /// set, ascending (so validation emits ascending results directly).
+  void Insert(const CandidateCacheKey& key, uint64_t epoch,
+              std::vector<RankingId> candidates, Statistics* stats) {
+    AddTicker(stats, Ticker::kCandidateCacheEvictions,
+              cache_.Insert(key, epoch,
+                            std::make_shared<const std::vector<RankingId>>(
+                                std::move(candidates))));
+  }
+
+  void Clear() { cache_.Clear(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  ShardedLruCache<CandidateCacheKey, CandidateList> cache_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SERVE_CANDIDATE_CACHE_H_

@@ -1,0 +1,71 @@
+// Canonical cache keys for the online serving layer.
+//
+// Two key shapes back the two caches:
+//
+//   ResultCacheKey     identifies an *answer*: the query's exact item
+//                      sequence plus (kind, algorithm, theta or j). Any
+//                      difference in the ranking's order changes the
+//                      Footrule distances and therefore the answer, so the
+//                      canonical form is the full position-order sequence.
+//   CandidateCacheKey  identifies a *filter result*: the query's item set
+//                      in ascending order. The plain-F&V filter phase is
+//                      the union of the query items' posting lists, which
+//                      depends only on WHICH items the query contains —
+//                      near-duplicate queries that permute positions share
+//                      the key and skip filtering entirely.
+//
+// Both keys carry a precomputed 64-bit fingerprint for bucketing, but
+// exactness never rests on it: the caches compare the full key (operator==
+// includes the item vectors) before serving, so a fingerprint collision
+// degrades to a miss, never to a wrong answer.
+
+#ifndef TOPK_SERVE_FINGERPRINT_H_
+#define TOPK_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/types.h"
+
+namespace topk {
+
+/// What a serving request asks for; part of every result-cache key.
+enum class ServeKind : uint8_t {
+  kRange = 0,  // all rankings within theta_raw
+  kKnn = 1,    // the j nearest rankings
+};
+
+struct ResultCacheKey {
+  uint8_t kind;        // ServeKind
+  uint32_t algorithm;  // Algorithm enum value (serving keeps per-algorithm
+                       // entries separate even though all engines agree)
+  uint64_t param;      // theta_raw for range requests, j for k-NN
+  std::vector<ItemId> items;  // query items in position order (canonical)
+  uint64_t hash;              // precomputed over every field above
+
+  friend bool operator==(const ResultCacheKey& a, const ResultCacheKey& b) {
+    return a.hash == b.hash && a.kind == b.kind &&
+           a.algorithm == b.algorithm && a.param == b.param &&
+           a.items == b.items;
+  }
+};
+
+ResultCacheKey MakeResultCacheKey(ServeKind kind, uint32_t algorithm,
+                                  uint64_t param, const PreparedQuery& query);
+
+struct CandidateCacheKey {
+  std::vector<ItemId> items;  // query item set, ascending (canonical)
+  uint64_t hash;              // ItemSetFingerprint of the set
+
+  friend bool operator==(const CandidateCacheKey& a,
+                         const CandidateCacheKey& b) {
+    return a.hash == b.hash && a.items == b.items;
+  }
+};
+
+CandidateCacheKey MakeCandidateCacheKey(const PreparedQuery& query);
+
+}  // namespace topk
+
+#endif  // TOPK_SERVE_FINGERPRINT_H_

@@ -1,0 +1,317 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/footrule.h"
+
+namespace topk {
+
+bool CandidateCacheApplies(Algorithm algorithm) {
+  return algorithm == Algorithm::kFV || algorithm == Algorithm::kLinearScan;
+}
+
+QueryFrontend::QueryFrontend(const RankingStore* store,
+                             QueryFrontendOptions options)
+    : store_(store),
+      options_(options),
+      num_threads_(std::max<size_t>(options.num_threads, 1)),
+      pool_(num_threads_ - 1),
+      suite_(store, options.suite_config),
+      executors_(num_threads_),
+      result_cache_(options.result_cache_capacity, options.cache_shards),
+      candidate_cache_(options.candidate_cache_capacity,
+                       options.cache_shards) {}
+
+void QueryFrontend::PrepareEngines(Algorithm algorithm) {
+  if (algorithm == Algorithm::kMinimalFV) return;  // rejected at serve time
+  if (!executors_[0].engines.contains(algorithm)) {
+    // The first MakeEngine builds the shared indexes; the remaining
+    // engines are thin per-executor adapters over them. All of this is
+    // serial — the suite's lazy index construction is not thread-safe,
+    // which is exactly why engines are made here and not inside ServeOne.
+    for (Executor& executor : executors_) {
+      executor.engines[algorithm] = suite_.MakeEngine(algorithm);
+    }
+  }
+  switch (algorithm) {  // k-NN backends need the raw index handles
+    case Algorithm::kBkTree:
+      bk_tree_ = &suite_.bk_tree();
+      break;
+    case Algorithm::kMTree:
+      m_tree_ = &suite_.m_tree();
+      break;
+    case Algorithm::kCoarse:
+      coarse_index_ = &suite_.coarse_index();
+      break;
+    default:
+      break;
+  }
+}
+
+void QueryFrontend::Prepare(Algorithm algorithm) {
+  PrepareEngines(algorithm);
+  // An explicit Prepare means "keep every build out of my timed window",
+  // so also bind the candidate-path index when this algorithm can use it.
+  // The batch path instead binds it only for *range* requests — a pure
+  // k-NN stream never touches the posting union and skips the build.
+  if (candidate_cache_.enabled() && CandidateCacheApplies(algorithm) &&
+      plain_index_ == nullptr) {
+    plain_index_ = &suite_.plain_index();
+  }
+}
+
+std::vector<ServeResponse> QueryFrontend::ServeBatch(
+    std::span<const ServeRequest> requests, Statistics* stats,
+    PhaseTimes* phases) {
+  return ServeBatchInternal(requests, stats, phases, nullptr);
+}
+
+std::vector<ServeResponse> QueryFrontend::ServeBatchInternal(
+    std::span<const ServeRequest> requests, Statistics* stats,
+    PhaseTimes* phases, std::vector<double>* latencies) {
+  for (const ServeRequest& request : requests) {
+    PrepareEngines(request.algorithm);
+    if (request.kind == ServeKind::kRange && candidate_cache_.enabled() &&
+        CandidateCacheApplies(request.algorithm) && plain_index_ == nullptr) {
+      plain_index_ = &suite_.plain_index();
+    }
+  }
+
+  std::vector<ServeResponse> responses(requests.size());
+  if (latencies != nullptr) latencies->assign(requests.size(), 0.0);
+  for (Executor& executor : executors_) {
+    executor.stats.Reset();
+    executor.phases = PhaseTimes{};
+  }
+  // Requests in this batch observe the generation current at batch start;
+  // an InvalidateCaches racing the batch linearizes after these requests.
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+
+  // Work sharing as in ThreadPool::ParallelFor, but with an explicit
+  // executor id so every in-flight request has private engines/scratch.
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto drain = [&](size_t e) {
+    Executor& executor = executors_[e];
+    for (size_t i; (i = next.fetch_add(1)) < requests.size();) {
+      Stopwatch watch;
+      try {
+        ServeOne(&executor, requests[i], epoch, &responses[i]);
+      } catch (...) {
+        // First exception wins; the batch still drains so the frontend
+        // (and its pool) stays usable after the rethrow below.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (latencies != nullptr) (*latencies)[i] = watch.ElapsedMillis();
+    }
+  };
+  const size_t helpers =
+      requests.empty() ? 0 : std::min(num_threads_ - 1, requests.size() - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (size_t e = 0; e < helpers; ++e) {
+    pending.push_back(pool_.Submit([&drain, e] { drain(e + 1); }));
+  }
+  drain(0);
+  for (std::future<void>& f : pending) f.get();
+
+  // Per-executor accounting merges only after the join (the future
+  // handshake is the happens-before edge), mirroring ParallelRunner.
+  for (const Executor& executor : executors_) {
+    if (stats != nullptr) stats->MergeFrom(executor.stats);
+    if (phases != nullptr) phases->MergeFrom(executor.phases);
+  }
+  if (error) std::rethrow_exception(error);
+  return responses;
+}
+
+void QueryFrontend::ServeOne(Executor* executor, const ServeRequest& request,
+                             uint64_t epoch, ServeResponse* response) {
+  if (request.query == nullptr) {
+    throw std::invalid_argument("ServeRequest.query must not be null");
+  }
+  if (request.query->k() != store_->k()) {
+    throw std::invalid_argument("query size does not match the store's k");
+  }
+  // With the result cache disabled there is no key to build and no
+  // miss to account — the request goes straight to its engine.
+  if (!result_cache_.enabled()) {
+    if (request.kind == ServeKind::kRange) {
+      response->ids = ServeRange(executor, request, epoch, response);
+    } else {
+      response->neighbors = ServeKnn(executor, request);
+    }
+    return;
+  }
+  if (request.kind == ServeKind::kRange) {
+    const ResultCacheKey key = MakeResultCacheKey(
+        ServeKind::kRange, static_cast<uint32_t>(request.algorithm),
+        request.theta_raw, *request.query);
+    if (result_cache_.LookupRange(key, epoch, &response->ids,
+                                  &executor->stats)) {
+      response->result_cache_hit = true;
+      return;
+    }
+    response->ids = ServeRange(executor, request, epoch, response);
+    result_cache_.InsertRange(key, epoch, response->ids, &executor->stats);
+  } else {
+    const ResultCacheKey key = MakeResultCacheKey(
+        ServeKind::kKnn, static_cast<uint32_t>(request.algorithm), request.j,
+        *request.query);
+    if (result_cache_.LookupKnn(key, epoch, &response->neighbors,
+                                &executor->stats)) {
+      response->result_cache_hit = true;
+      return;
+    }
+    response->neighbors = ServeKnn(executor, request);
+    result_cache_.InsertKnn(key, epoch, response->neighbors,
+                            &executor->stats);
+  }
+}
+
+std::vector<RankingId> QueryFrontend::ServeRange(Executor* executor,
+                                                 const ServeRequest& request,
+                                                 uint64_t epoch,
+                                                 ServeResponse* response) {
+  const PreparedQuery& query = *request.query;
+  // The candidate union is only a provable superset below dmax (a
+  // disjoint ranking sits at exactly dmax and appears in no posting
+  // list), and only a *profitable* one for union-validating engines (see
+  // CandidateCacheApplies); otherwise the engine path answers directly.
+  const bool candidates_applicable =
+      candidate_cache_.enabled() && CandidateCacheApplies(request.algorithm) &&
+      request.theta_raw < MaxDistance(store_->k());
+  if (!candidates_applicable) return RunEngine(executor, request);
+
+  const CandidateCacheKey key = MakeCandidateCacheKey(query);
+  CandidateList memoized;
+  if (candidate_cache_.Lookup(key, epoch, &memoized, &executor->stats)) {
+    // Filter phase skipped entirely: only re-validate the memoized
+    // superset against this query's exact distances.
+    response->candidate_cache_hit = true;
+    Stopwatch watch;
+    std::vector<RankingId> results = ValidateCandidates(
+        *memoized, query, request.theta_raw, &executor->stats);
+    executor->phases.validate_ms += watch.ElapsedMillis();
+    return results;
+  }
+  // Miss: for the union-validating algorithms the filter output IS the
+  // posting union, so compute it once, validate it directly (this is
+  // exactly plain F&V — exact below dmax), and memoize it. Running the
+  // engine and recomputing the union would filter twice. PostingUnion +
+  // ValidateCandidates mirror FilterValidateEngine's two phases; the
+  // FuzzServe differential keeps the pair bit-identical to the engines
+  // (ROADMAP lists extracting a shared filter-phase helper).
+  Stopwatch watch;
+  std::vector<RankingId> candidates = PostingUnion(executor, query);
+  executor->phases.filter_ms += watch.ElapsedMillis();
+  watch.Restart();
+  std::vector<RankingId> results = ValidateCandidates(
+      candidates, query, request.theta_raw, &executor->stats);
+  executor->phases.validate_ms += watch.ElapsedMillis();
+  candidate_cache_.Insert(key, epoch, std::move(candidates),
+                          &executor->stats);
+  return results;
+}
+
+std::vector<RankingId> QueryFrontend::RunEngine(Executor* executor,
+                                                const ServeRequest& request) {
+  const auto it = executor->engines.find(request.algorithm);
+  if (it == executor->engines.end()) {
+    throw std::invalid_argument(
+        std::string("algorithm not servable through the frontend: ") +
+        AlgorithmName(request.algorithm));
+  }
+  return it->second->Query(0, *request.query, request.theta_raw,
+                           &executor->stats, &executor->phases);
+}
+
+std::vector<Neighbor> QueryFrontend::ServeKnn(Executor* executor,
+                                              const ServeRequest& request) {
+  Statistics* stats = &executor->stats;
+  switch (request.algorithm) {
+    case Algorithm::kLinearScan:
+      return LinearScanKnn(*store_, *request.query, request.j, stats);
+    case Algorithm::kBkTree:
+      return BkTreeKnn(*bk_tree_, *request.query, request.j, stats);
+    case Algorithm::kMTree:
+      return MTreeKnn(*m_tree_, *request.query, request.j, stats);
+    case Algorithm::kCoarse:
+      return coarse_index_->Knn(*request.query, request.j, stats);
+    default:
+      throw std::invalid_argument(
+          std::string("k-NN backend not servable through the frontend: ") +
+          AlgorithmName(request.algorithm));
+  }
+}
+
+std::vector<RankingId> QueryFrontend::PostingUnion(
+    Executor* executor, const PreparedQuery& query) {
+  executor->visited.EnsureCapacity(store_->size());
+  executor->visited.NextEpoch();
+  std::vector<RankingId>& out = executor->union_scratch;
+  out.clear();
+  for (const ItemId item : query.view().items()) {
+    const auto list = plain_index_->list(item);
+    AddTicker(&executor->stats, Ticker::kPostingEntriesScanned, list.size());
+    for (const RankingId id : list) {
+      if (!executor->visited.TestAndSet(id)) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;  // copies out of the reusable scratch
+}
+
+std::vector<RankingId> QueryFrontend::ValidateCandidates(
+    std::span<const RankingId> candidates, const PreparedQuery& query,
+    RawDistance theta_raw, Statistics* stats) const {
+  std::vector<RankingId> results;
+  const SortedRankingView q = query.sorted_view();
+  AddTicker(stats, Ticker::kCandidates, candidates.size());
+  for (const RankingId id : candidates) {
+    AddTicker(stats, Ticker::kDistanceCalls);
+    if (FootruleDistance(q, store_->sorted(id)) <= theta_raw) {
+      results.push_back(id);
+    }
+  }
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+RunResult QueryFrontend::ServeWorkload(Algorithm algorithm,
+                                       std::span<const PreparedQuery> queries,
+                                       RawDistance theta_raw) {
+  Prepare(algorithm);
+  std::vector<ServeRequest> requests;
+  requests.reserve(queries.size());
+  for (const PreparedQuery& query : queries) {
+    requests.push_back(ServeRequest::Range(algorithm, query, theta_raw));
+  }
+
+  RunResult result;
+  result.num_queries = queries.size();
+  result.num_threads = num_threads_;
+  std::vector<double> latencies;
+  Stopwatch total;
+  const std::vector<ServeResponse> responses =
+      ServeBatchInternal(requests, &result.stats, &result.phases, &latencies);
+  result.wall_ms = total.ElapsedMillis();
+  for (const ServeResponse& response : responses) {
+    result.total_results += response.ids.size();
+    for (const RankingId id : response.ids) {
+      result.result_hash += MixId64(id);
+    }
+  }
+  FinalizeLatencyStats(&latencies, &result);
+  return result;
+}
+
+}  // namespace topk

@@ -1,0 +1,224 @@
+// Online serving frontend: inter-query batched execution with exact
+// result/candidate caching.
+//
+// The harness so far parallelizes *within* one query (ParallelRunner fans
+// a query across shards); production query streams are instead dominated
+// by many small, often repeated queries. QueryFrontend closes that gap:
+//
+//   batching      a batch of range/k-NN requests is scheduled across a
+//                 reusable ThreadPool as *whole queries* (work sharing:
+//                 whichever executor is free grabs the next request; the
+//                 calling thread participates). Responses land at the
+//                 index of their request, so ordering per request id is
+//                 deterministic regardless of execution interleaving.
+//   result cache  an exact sharded LRU keyed by the canonical query
+//                 sequence + (kind, algorithm, theta or j): an identical
+//                 re-issued query is answered without touching any engine.
+//   candidate     near-duplicate queries that permute an item set reuse
+//   cache         the memoized plain-F&V posting union and skip the
+//                 filter phase, paying only validation (exact for
+//                 theta_raw < dmax; see serve/candidate_cache.h).
+//   generations   InvalidateCaches() bumps an epoch; entries from older
+//                 generations can never be served again (lazy erase).
+//                 The hook covers the *caches*; the frontend's indexes
+//                 and engines bind the store contents at Prepare time,
+//                 so a store/partitioning rebuild must construct a new
+//                 QueryFrontend (bumping the old one's epoch only
+//                 guarantees its caches cannot leak into the new
+//                 generation while it is being drained).
+//
+// Exactness: every served answer is bit-identical to a cold run of the
+// requested engine — enforced by the serve differential suites
+// (serve_frontend_test, FuzzServeTest in fuzz_differential_test).
+//
+// Concurrency contract: one thread drives ServeBatch/ServeWorkload (the
+// coordinator methods are not reentrant, mirroring ParallelRunner);
+// InvalidateCaches() may be called from any thread at any time. A request
+// observes the generation current when its batch started: requests racing
+// an invalidation linearize before it.
+//
+// Engine thread safety: each executor owns a private QueryEngine per
+// algorithm (per-engine scratch), all sharing the suite's immutable
+// indexes; the coarse index takes a per-executor CoarseScratch. Exceptions
+// thrown while serving a request are captured and the first one is
+// rethrown on the caller after the batch joins (remaining requests still
+// complete, so the frontend stays usable).
+
+#ifndef TOPK_SERVE_FRONTEND_H_
+#define TOPK_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "harness/query_algorithms.h"
+#include "harness/runner.h"
+#include "harness/thread_pool.h"
+#include "invidx/visited_set.h"
+#include "metric/knn.h"
+#include "serve/candidate_cache.h"
+#include "serve/fingerprint.h"
+#include "serve/result_cache.h"
+
+namespace topk {
+
+/// One query in a serving batch. `query` must outlive the ServeBatch call
+/// (requests reference workload-owned PreparedQuery objects; copying the
+/// prepared views per request would dominate small-query serving).
+struct ServeRequest {
+  ServeKind kind = ServeKind::kRange;
+  Algorithm algorithm = Algorithm::kFV;
+  const PreparedQuery* query = nullptr;
+  RawDistance theta_raw = 0;  // range requests
+  size_t j = 0;               // k-NN requests
+
+  static ServeRequest Range(Algorithm algorithm, const PreparedQuery& query,
+                            RawDistance theta_raw) {
+    return ServeRequest{ServeKind::kRange, algorithm, &query, theta_raw, 0};
+  }
+  static ServeRequest Knn(Algorithm algorithm, const PreparedQuery& query,
+                          size_t j) {
+    return ServeRequest{ServeKind::kKnn, algorithm, &query, 0, j};
+  }
+  // A temporary would leave a dangling pointer in the request; make the
+  // lifetime rule a compile error instead of a comment.
+  static ServeRequest Range(Algorithm, const PreparedQuery&&,
+                            RawDistance) = delete;
+  static ServeRequest Knn(Algorithm, const PreparedQuery&&, size_t) = delete;
+};
+
+struct ServeResponse {
+  std::vector<RankingId> ids;       // range answer, ascending ids
+  std::vector<Neighbor> neighbors;  // k-NN answer, (distance, id) ascending
+  bool result_cache_hit = false;
+  bool candidate_cache_hit = false;
+};
+
+struct QueryFrontendOptions {
+  /// Executors serving requests, including the calling thread (the pool
+  /// spawns num_threads - 1 workers). Must be >= 1.
+  size_t num_threads = 1;
+  /// Entry budgets; 0 disables the respective cache. The result budget
+  /// applies per answer kind (range and k-NN entries are kept in
+  /// independent stores of this size).
+  size_t result_cache_capacity = 64 * 1024;
+  size_t candidate_cache_capacity = 16 * 1024;
+  /// Lock shards per cache (clamped to capacity).
+  size_t cache_shards = 8;
+  /// Forwarded to the shared EngineSuite.
+  EngineSuiteConfig suite_config;
+};
+
+/// Whether the frontend routes `algorithm` through the candidate cache.
+/// The memoized posting union equals F&V's own validation set and
+/// undercuts LinearScan's full scan, so skipping their filter is a pure
+/// win; every pruning engine (drop/blocked/coarse/adapt) validates fewer
+/// candidates than the full union, so reusing it would cost more distance
+/// calls than the skipped filter saves — those algorithms rely on the
+/// result cache alone.
+bool CandidateCacheApplies(Algorithm algorithm);
+
+class QueryFrontend {
+ public:
+  explicit QueryFrontend(const RankingStore* store,
+                         QueryFrontendOptions options = {});
+
+  size_t num_threads() const { return num_threads_; }
+  const RankingStore& store() const { return *store_; }
+  EngineSuite& suite() { return suite_; }
+  uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  size_t result_cache_size() const { return result_cache_.size(); }
+  size_t candidate_cache_size() const { return candidate_cache_.size(); }
+
+  /// Builds the shared indexes and the per-executor engines behind
+  /// `algorithm` (range and/or k-NN use). Idempotent; ServeBatch prepares
+  /// implicitly, so calling this is only needed to keep index construction
+  /// out of a timed window. kMinimalFV is rejected at serve time (the
+  /// oracle is workload-bound and has no place in an online frontend).
+  void Prepare(Algorithm algorithm);
+
+  /// Serves `requests` across the pool; response i answers request i.
+  /// Per-request tickers (including cache hit/miss/eviction counts) are
+  /// merged into `stats` when non-null, phase splits into `phases`. If any
+  /// request threw (e.g. kMinimalFV or an unsupported k-NN backend), the
+  /// first exception is rethrown after every other request completed.
+  std::vector<ServeResponse> ServeBatch(
+      std::span<const ServeRequest> requests, Statistics* stats = nullptr,
+      PhaseTimes* phases = nullptr);
+
+  /// Harness-style measurement loop: serves the whole workload as one
+  /// batch of range requests and aggregates the usual RunResult (cache
+  /// tickers included in .stats; per-request latencies feed the tail
+  /// percentiles).
+  RunResult ServeWorkload(Algorithm algorithm,
+                          std::span<const PreparedQuery> queries,
+                          RawDistance theta_raw);
+
+  /// Generation bump: every currently cached entry becomes unservable.
+  /// Thread-safe. This invalidates the *caches* only — the indexes and
+  /// engines still bind the store contents from Prepare time, so a
+  /// store/partitioning rebuild requires a new QueryFrontend (call this
+  /// on the old instance so its entries cannot outlive the handover).
+  void InvalidateCaches() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  struct Executor {
+    std::map<Algorithm, std::unique_ptr<QueryEngine>> engines;
+    Statistics stats;          // per-batch, merged after the join
+    PhaseTimes phases;         // per-batch, merged after the join
+    VisitedSet visited{0};     // posting-union dedup scratch
+    std::vector<RankingId> union_scratch;
+  };
+
+  std::vector<ServeResponse> ServeBatchInternal(
+      std::span<const ServeRequest> requests, Statistics* stats,
+      PhaseTimes* phases, std::vector<double>* latencies);
+  /// Engines + k-NN index handles for `algorithm` (no candidate-path
+  /// index; ServeBatch binds that only when a range request needs it).
+  void PrepareEngines(Algorithm algorithm);
+  void ServeOne(Executor* executor, const ServeRequest& request,
+                uint64_t epoch, ServeResponse* response);
+  std::vector<RankingId> ServeRange(Executor* executor,
+                                    const ServeRequest& request,
+                                    uint64_t epoch, ServeResponse* response);
+  std::vector<RankingId> RunEngine(Executor* executor,
+                                   const ServeRequest& request);
+  std::vector<Neighbor> ServeKnn(Executor* executor,
+                                 const ServeRequest& request);
+  /// The deduplicated, ascending union of the query items' posting lists.
+  std::vector<RankingId> PostingUnion(Executor* executor,
+                                      const PreparedQuery& query);
+  /// Validates `candidates` (ascending) against theta, ticking the same
+  /// counters a plain validate phase would.
+  std::vector<RankingId> ValidateCandidates(
+      std::span<const RankingId> candidates, const PreparedQuery& query,
+      RawDistance theta_raw, Statistics* stats) const;
+
+  const RankingStore* store_;
+  QueryFrontendOptions options_;
+  size_t num_threads_;
+  ThreadPool pool_;
+  EngineSuite suite_;
+  std::vector<Executor> executors_;
+  ResultCache result_cache_;
+  CandidateCache candidate_cache_;
+  const PlainInvertedIndex* plain_index_ = nullptr;  // set on first prepare
+  const BkTree* bk_tree_ = nullptr;                  // k-NN backends,
+  const MTree* m_tree_ = nullptr;                    // built by Prepare
+  const CoarseIndex* coarse_index_ = nullptr;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SERVE_FRONTEND_H_

@@ -1,0 +1,160 @@
+// Sharded, epoch-validated LRU cache — the storage engine behind both the
+// result cache and the candidate cache (the RediSearch pattern: front an
+// exact index with a cache that writes invalidate, adapted to exactness
+// guarantees).
+//
+// Design:
+//
+//   sharding      entries are spread over independently locked shards by
+//                 their key fingerprint, so concurrent executors rarely
+//                 contend on one mutex. Capacity is split evenly across
+//                 shards (eviction is enforced per shard).
+//   epochs        every entry is stamped with the generation it was
+//                 computed under. A lookup presents the caller's current
+//                 generation; any entry from an older generation is
+//                 treated as a miss and erased on touch — after a
+//                 store/partitioning rebuild bumps the generation, a stale
+//                 answer can never be served, without an eager sweep.
+//   exactness     the shard map buckets by the key's 64-bit fingerprint,
+//                 but a hit additionally requires full key equality
+//                 (Key::operator== compares the canonical item vectors).
+//                 A fingerprint collision therefore degrades to a
+//                 miss/replacement, never to a wrong answer.
+//
+// Key must provide a `uint64_t hash` member (precomputed fingerprint) and
+// operator==. Value must be copyable (hits copy the value out under the
+// shard lock).
+
+#ifndef TOPK_SERVE_LRU_CACHE_H_
+#define TOPK_SERVE_LRU_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace topk {
+
+template <typename Key, typename Value>
+class ShardedLruCache {
+ public:
+  /// A cache with room for ~`capacity` entries over `num_shards` locks.
+  /// capacity 0 disables the cache (lookups miss, inserts are dropped);
+  /// otherwise the shard count is clamped to the capacity so even
+  /// capacity 1 is enforced exactly (one shard holding one entry). The
+  /// per-shard budget is the ceiling division, so the cache never holds
+  /// fewer than `capacity` entries overall (at most shards-1 more).
+  ShardedLruCache(size_t capacity, size_t num_shards)
+      : capacity_(capacity),
+        shards_(capacity == 0
+                    ? 1
+                    : std::min(std::max<size_t>(num_shards, 1), capacity)) {
+    per_shard_capacity_ =
+        capacity == 0 ? 0 : (capacity + shards_.size() - 1) / shards_.size();
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Copies the value for `key` into `*out` and returns true iff an entry
+  /// with the exact same key exists AND carries the caller's `epoch`.
+  /// Touching a stale-epoch entry erases it (lazy invalidation).
+  bool Lookup(const Key& key, uint64_t epoch, Value* out) {
+    if (per_shard_capacity_ == 0) return false;
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key.hash);
+    if (it == shard.map.end()) return false;
+    const auto entry = it->second;
+    if (entry->epoch != epoch) {  // stale generation: invalidate on touch
+      shard.map.erase(it);
+      shard.lru.erase(entry);
+      return false;
+    }
+    if (!(entry->key == key)) return false;  // fingerprint collision
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry);  // most recent
+    *out = entry->value;
+    return true;
+  }
+
+  /// Inserts (or replaces) the entry for `key`, stamped with `epoch`.
+  /// Returns the number of entries evicted to make room (for ticker
+  /// accounting); replacing an entry with the same fingerprint does not
+  /// count as an eviction.
+  size_t Insert(const Key& key, uint64_t epoch, Value value) {
+    if (per_shard_capacity_ == 0) return 0;
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key.hash);
+    if (it != shard.map.end()) {  // refresh (or fingerprint-collision swap)
+      const auto entry = it->second;
+      entry->key = key;
+      entry->value = std::move(value);
+      entry->epoch = epoch;
+      shard.lru.splice(shard.lru.begin(), shard.lru, entry);
+      return 0;
+    }
+    size_t evicted = 0;
+    while (shard.lru.size() >= per_shard_capacity_) {
+      shard.map.erase(shard.lru.back().key.hash);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+    shard.lru.push_front(Entry{key, std::move(value), epoch});
+    shard.map.emplace(key.hash, shard.lru.begin());
+    return evicted;
+  }
+
+  /// Drops every entry immediately (epoch bumps alone invalidate lazily).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.clear();
+      shard.lru.clear();
+    }
+  }
+
+  /// Current entry count (includes not-yet-touched stale entries).
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.lru.size();
+    }
+    return total;
+  }
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return per_shard_capacity_ > 0; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    uint64_t epoch;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    // Buckets by fingerprint; full-key equality is verified on hit.
+    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    // The fingerprint is already well mixed (splitmix64 finalizer), so
+    // modulo sharding is unbiased.
+    return shards_[key.hash % shards_.size()];
+  }
+
+  size_t capacity_;
+  std::vector<Shard> shards_;
+  size_t per_shard_capacity_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SERVE_LRU_CACHE_H_

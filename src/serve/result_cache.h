@@ -1,0 +1,83 @@
+// Exact result cache for the serving layer: memoizes complete answers
+// (range result lists and k-NN neighbor lists) keyed by the canonical
+// query sequence + (kind, algorithm, theta or j).
+//
+// A hit returns the previously computed answer verbatim — exact because
+// (a) the key compares the full item sequence, so only a byte-identical
+// query under identical parameters can hit, (b) every engine in the
+// registry is exact, so the memoized answer equals what any cold run
+// would produce, and (c) entries are epoch-stamped: a generation bump
+// (store/partitioning rebuild) makes every older entry unservable.
+//
+// Hit/miss/eviction counts are reported through the standard Statistics
+// tickers (kResultCache*), so they aggregate into RunResult like every
+// other counter.
+
+#ifndef TOPK_SERVE_RESULT_CACHE_H_
+#define TOPK_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/statistics.h"
+#include "core/types.h"
+#include "metric/knn.h"
+#include "serve/fingerprint.h"
+#include "serve/lru_cache.h"
+
+namespace topk {
+
+class ResultCache {
+ public:
+  /// `capacity` is the entry budget *per answer kind*: the range and
+  /// k-NN stores are independent, each holding up to `capacity` entries
+  /// (a stream of one kind gets the full budget; a mixed stream can hold
+  /// up to 2x). 0 disables both.
+  ResultCache(size_t capacity, size_t num_shards)
+      : range_(capacity, num_shards), knn_(capacity, num_shards) {}
+
+  bool enabled() const { return range_.enabled(); }
+
+  /// Range lookups/inserts. Lookup ticks kResultCacheHits/Misses; Insert
+  /// ticks kResultCacheEvictions for entries displaced by capacity.
+  bool LookupRange(const ResultCacheKey& key, uint64_t epoch,
+                   std::vector<RankingId>* out, Statistics* stats) {
+    const bool hit = range_.Lookup(key, epoch, out);
+    AddTicker(stats,
+              hit ? Ticker::kResultCacheHits : Ticker::kResultCacheMisses);
+    return hit;
+  }
+  void InsertRange(const ResultCacheKey& key, uint64_t epoch,
+                   std::vector<RankingId> value, Statistics* stats) {
+    AddTicker(stats, Ticker::kResultCacheEvictions,
+              range_.Insert(key, epoch, std::move(value)));
+  }
+
+  /// k-NN counterparts (same tickers).
+  bool LookupKnn(const ResultCacheKey& key, uint64_t epoch,
+                 std::vector<Neighbor>* out, Statistics* stats) {
+    const bool hit = knn_.Lookup(key, epoch, out);
+    AddTicker(stats,
+              hit ? Ticker::kResultCacheHits : Ticker::kResultCacheMisses);
+    return hit;
+  }
+  void InsertKnn(const ResultCacheKey& key, uint64_t epoch,
+                 std::vector<Neighbor> value, Statistics* stats) {
+    AddTicker(stats, Ticker::kResultCacheEvictions,
+              knn_.Insert(key, epoch, std::move(value)));
+  }
+
+  void Clear() {
+    range_.Clear();
+    knn_.Clear();
+  }
+  size_t size() const { return range_.size() + knn_.size(); }
+
+ private:
+  ShardedLruCache<ResultCacheKey, std::vector<RankingId>> range_;
+  ShardedLruCache<ResultCacheKey, std::vector<Neighbor>> knn_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SERVE_RESULT_CACHE_H_

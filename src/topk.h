@@ -50,5 +50,10 @@
 #include "metric/knn.h"
 #include "metric/linear_scan.h"
 #include "metric/m_tree.h"
+#include "serve/candidate_cache.h"
+#include "serve/fingerprint.h"
+#include "serve/frontend.h"
+#include "serve/lru_cache.h"
+#include "serve/result_cache.h"
 
 #endif  // TOPK_TOPK_H_

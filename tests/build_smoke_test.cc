@@ -29,6 +29,8 @@
 #include "io/serialization.h"
 #include "metric/knn.h"
 #include "metric/linear_scan.h"
+#include "serve/fingerprint.h"
+#include "serve/frontend.h"
 #include "test_util.h"
 
 namespace topk {
@@ -97,6 +99,14 @@ TEST(BuildSmokeTest, EverySrcModuleLinks) {
   const auto batch_results = batch.QueryBatch(queries, theta_raw);
   ASSERT_EQ(batch_results.size(), queries.size());
   EXPECT_EQ(batch_results[0], truth);
+
+  // serve: the frontend answers the oracle query (fingerprint.cc +
+  // frontend.cc link coverage).
+  QueryFrontend frontend(&store);
+  const ServeRequest serve_requests[] = {
+      ServeRequest::Range(Algorithm::kFV, queries[0], theta_raw)};
+  EXPECT_EQ(frontend.ServeBatch(serve_requests)[0].ids, truth);
+  EXPECT_NE(MakeCandidateCacheKey(queries[0]).hash, 0u);
 
   // costmodel (+ data/dataset_stats): measured inputs drive a prediction.
   const CostModelInputs inputs =

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
 #include "costmodel/empirical_cdf.h"
 #include "data/dataset_stats.h"
 #include "data/workload.h"
@@ -144,6 +148,71 @@ TEST(WorkloadTest, PerturbedQueriesFindNeighbors) {
     }
   }
   EXPECT_GT(with_results, 80u);
+}
+
+TEST(WorkloadTest, RepeatFractionPinsRepetitionDistribution) {
+  const RankingStore store = Generate(YagoLikeOptions(1500, 10, 20));
+  WorkloadOptions options;
+  options.num_queries = 400;
+  options.seed = 21;
+  options.repeat_fraction = 0.6;
+  options.repeat_zipf_s = 1.0;
+  const auto queries = MakeWorkload(store, options);
+  ASSERT_EQ(queries.size(), 400u);
+
+  // Tally exact re-issues by item sequence.
+  std::map<std::vector<ItemId>, size_t> counts;
+  for (const PreparedQuery& query : queries) {
+    const auto items = query.view().items();
+    ++counts[std::vector<ItemId>(items.begin(), items.end())];
+  }
+  const size_t distinct = counts.size();
+  const size_t repeats = queries.size() - distinct;
+  size_t max_count = 0;
+  size_t singletons = 0;
+  for (const auto& [sequence, count] : counts) {
+    max_count = std::max(max_count, count);
+    if (count == 1) ++singletons;
+  }
+  // ~60% of the stream re-issues: the distinct pool is roughly the other
+  // 40%, with slack for the random coin.
+  EXPECT_GT(repeats, 180u);
+  EXPECT_LT(repeats, 290u);
+  EXPECT_GT(distinct, 110u);
+  // Zipf popularity: a head query soaks up many re-issues while most
+  // distinct queries are never repeated.
+  EXPECT_GE(max_count, 15u);
+  EXPECT_GT(singletons * 2, distinct);
+
+  // Deterministic under the seed.
+  const auto again = MakeWorkload(store, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(std::vector<ItemId>(queries[i].view().items().begin(),
+                                  queries[i].view().items().end()),
+              std::vector<ItemId>(again[i].view().items().begin(),
+                                  again[i].view().items().end()));
+  }
+}
+
+TEST(WorkloadTest, RepeatFractionZeroIsBitCompatible) {
+  // The knob must not perturb the RNG stream when disabled: a workload
+  // with repeat_fraction = 0 is bit-identical regardless of the skew
+  // setting, preserving every pre-knob workload.
+  const RankingStore store = Generate(YagoLikeOptions(800, 10, 22));
+  WorkloadOptions off;
+  off.num_queries = 120;
+  off.seed = 23;
+  off.repeat_fraction = 0.0;
+  WorkloadOptions off_other_skew = off;
+  off_other_skew.repeat_zipf_s = 3.0;
+  const auto a = MakeWorkload(store, off);
+  const auto b = MakeWorkload(store, off_other_skew);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (uint32_t p = 0; p < 10; ++p) {
+      ASSERT_EQ(a[i].view()[p], b[i].view()[p]);
+    }
+  }
 }
 
 TEST(WorkloadTest, DeterministicUnderSeed) {

@@ -10,6 +10,7 @@
 #include "harness/query_algorithms.h"
 #include "harness/sharded_store.h"
 #include "metric/knn.h"
+#include "serve/frontend.h"
 #include "test_util.h"
 
 namespace topk {
@@ -157,6 +158,89 @@ TEST_P(FuzzShardedTest, ShardedMatchesUnshardedOnRandomConfigurations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rounds, FuzzShardedTest, ::testing::Range(0, 8));
+
+// Cached-vs-uncached differential mode: the serving frontend is fuzzed
+// over random shapes, thread counts, cache capacities (including tiny
+// ones that thrash), and random interleavings of re-issued queries and
+// generation bumps. Every response — whether it came from an engine, the
+// result cache, or the candidate-cache validation path — must be
+// bit-identical to the cold path (brute force for range, linear-scan for
+// k-NN), so the result multisets (and their hashes) cannot diverge. On
+// mismatch the assertion prints the failing base seed.
+class FuzzServeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzServeTest, CachedMatchesColdOnRandomInterleavings) {
+  const uint64_t seed = 13000 + static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  const FuzzShape shape = RandomShape(&rng);
+  const RankingStore store = MakeStore(shape, rng.Next());
+  const auto queries = testutil::MakeQueries(store, 10, rng.Next());
+
+  QueryFrontendOptions options;
+  options.num_threads = 1 + rng.Below(4);
+  options.result_cache_capacity =
+      rng.Below(3) == 0 ? rng.Below(8) : 1 + rng.Below(4096);
+  options.candidate_cache_capacity =
+      rng.Below(3) == 0 ? rng.Below(8) : 1 + rng.Below(4096);
+  QueryFrontend frontend(&store, options);
+
+  const Algorithm range_algorithms[] = {
+      Algorithm::kFV,     Algorithm::kBlockedPruneDrop,
+      Algorithm::kCoarse, Algorithm::kAdaptSearch,
+      Algorithm::kBkTree, Algorithm::kLinearScan};
+  const Algorithm knn_backends[] = {Algorithm::kLinearScan,
+                                    Algorithm::kBkTree, Algorithm::kMTree,
+                                    Algorithm::kCoarse};
+  // Like the other differential modes, thetas stay below dmax — the
+  // inverted-index engines' exactness contract (a disjoint ranking never
+  // appears in a posting list). The metric engines' dmax behaviour is
+  // covered by serve_frontend_test.
+  const RawDistance thetas[] = {
+      0, 1 + static_cast<RawDistance>(rng.Below(MaxDistance(shape.k) - 1)),
+      MaxDistance(shape.k) - 1};
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<ServeRequest> requests;
+    const size_t batch_size = 1 + rng.Below(24);
+    for (size_t r = 0; r < batch_size; ++r) {
+      const PreparedQuery& query = queries[rng.Below(queries.size())];
+      if (rng.Below(4) == 0) {
+        requests.push_back(
+            ServeRequest::Knn(knn_backends[rng.Below(4)], query,
+                              1 + rng.Below(shape.n + 4)));
+      } else {
+        requests.push_back(ServeRequest::Range(
+            range_algorithms[rng.Below(6)], query, thetas[rng.Below(3)]));
+      }
+    }
+    const auto responses = frontend.ServeBatch(requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].kind == ServeKind::kRange) {
+        ASSERT_EQ(responses[i].ids,
+                  testutil::BruteForce(store, *requests[i].query,
+                                       requests[i].theta_raw))
+            << "failing seed=" << seed << " round=" << round
+            << " request=" << i << " algorithm="
+            << AlgorithmName(requests[i].algorithm)
+            << " theta=" << requests[i].theta_raw << " threads="
+            << options.num_threads << " result_cache_capacity="
+            << options.result_cache_capacity << " candidate_cache_capacity="
+            << options.candidate_cache_capacity;
+      } else {
+        ASSERT_EQ(responses[i].neighbors,
+                  LinearScanKnn(store, *requests[i].query, requests[i].j))
+            << "failing seed=" << seed << " round=" << round
+            << " request=" << i << " backend="
+            << AlgorithmName(requests[i].algorithm)
+            << " j=" << requests[i].j;
+      }
+    }
+    // Random interleaving of generation bumps with query traffic.
+    if (rng.Below(3) == 0) frontend.InvalidateCaches();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, FuzzServeTest, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace topk

@@ -1,0 +1,408 @@
+// The online serving layer: inter-query batching, exact result/candidate
+// caching, generation-based invalidation, and the concurrency contract
+// (this suite runs under TSan in CI alongside the parallel harness).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "metric/knn.h"
+#include "serve/frontend.h"
+#include "serve/lru_cache.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+CandidateCacheKey SetKey(std::vector<ItemId> items) {
+  CandidateCacheKey key;
+  key.hash = ItemSetFingerprint(items);
+  key.items = std::move(items);
+  return key;
+}
+
+TEST(ShardedLruCacheTest, LruEvictionOrder) {
+  ShardedLruCache<CandidateCacheKey, int> cache(/*capacity=*/2,
+                                                /*num_shards=*/1);
+  EXPECT_EQ(cache.Insert(SetKey({1}), 0, 10), 0u);
+  EXPECT_EQ(cache.Insert(SetKey({2}), 0, 20), 0u);
+  int value = 0;
+  EXPECT_TRUE(cache.Lookup(SetKey({1}), 0, &value));  // {1} now most recent
+  EXPECT_EQ(value, 10);
+  EXPECT_EQ(cache.Insert(SetKey({3}), 0, 30), 1u);  // evicts LRU = {2}
+  EXPECT_FALSE(cache.Lookup(SetKey({2}), 0, &value));
+  EXPECT_TRUE(cache.Lookup(SetKey({1}), 0, &value));
+  EXPECT_TRUE(cache.Lookup(SetKey({3}), 0, &value));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCacheTest, CapacityZeroDisables) {
+  ShardedLruCache<CandidateCacheKey, int> cache(0, 8);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.Insert(SetKey({1}), 0, 10), 0u);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup(SetKey({1}), 0, &value));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedLruCacheTest, EpochMismatchInvalidatesLazily) {
+  ShardedLruCache<CandidateCacheKey, int> cache(8, 2);
+  cache.Insert(SetKey({1, 2}), /*epoch=*/0, 7);
+  int value = 0;
+  EXPECT_TRUE(cache.Lookup(SetKey({1, 2}), 0, &value));
+  EXPECT_FALSE(cache.Lookup(SetKey({1, 2}), 1, &value));  // stale: erased
+  EXPECT_EQ(cache.size(), 0u);
+  // Re-inserting under the new generation serves again.
+  cache.Insert(SetKey({1, 2}), 1, 8);
+  EXPECT_TRUE(cache.Lookup(SetKey({1, 2}), 1, &value));
+  EXPECT_EQ(value, 8);
+}
+
+TEST(ShardedLruCacheTest, InsertReplacesSameKey) {
+  ShardedLruCache<CandidateCacheKey, int> cache(4, 1);
+  cache.Insert(SetKey({5}), 0, 1);
+  cache.Insert(SetKey({5}), 0, 2);
+  int value = 0;
+  EXPECT_TRUE(cache.Lookup(SetKey({5}), 0, &value));
+  EXPECT_EQ(value, 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+
+class ServeFrontendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = testutil::MakeClusteredStore(/*k=*/10, /*n=*/600, /*seed=*/31);
+    queries_ = testutil::MakeQueries(store_, 10, /*seed=*/32);
+    theta_ = RawThreshold(0.3, store_.k());
+  }
+
+  RankingStore store_{10};
+  std::vector<PreparedQuery> queries_;
+  RawDistance theta_ = 0;
+};
+
+TEST_F(ServeFrontendTest, ResponsesAlignWithRequestIdsAcrossThreads) {
+  QueryFrontendOptions options;
+  options.num_threads = 4;
+  QueryFrontend frontend(&store_, options);
+
+  // Duplicate-heavy batch over two algorithms: response i must answer
+  // request i exactly, regardless of executor interleaving.
+  std::vector<ServeRequest> requests;
+  for (int round = 0; round < 3; ++round) {
+    for (const PreparedQuery& query : queries_) {
+      requests.push_back(ServeRequest::Range(
+          round % 2 == 0 ? Algorithm::kCoarse : Algorithm::kFV, query,
+          theta_));
+    }
+  }
+  const auto responses = frontend.ServeBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(responses[i].ids,
+              testutil::BruteForce(store_, *requests[i].query,
+                                   requests[i].theta_raw))
+        << "request " << i;
+  }
+}
+
+TEST_F(ServeFrontendTest, ReissuedQueriesHitTheResultCache) {
+  QueryFrontendOptions options;
+  options.num_threads = 1;  // deterministic ticker counts
+  QueryFrontend frontend(&store_, options);
+
+  std::vector<ServeRequest> requests;
+  for (const PreparedQuery& query : queries_) {
+    requests.push_back(ServeRequest::Range(Algorithm::kCoarse, query, theta_));
+  }
+  Statistics cold;
+  const auto first = frontend.ServeBatch(requests, &cold);
+  EXPECT_EQ(cold.Get(Ticker::kResultCacheHits), 0u);
+  EXPECT_EQ(cold.Get(Ticker::kResultCacheMisses), requests.size());
+
+  Statistics warm;
+  const auto second = frontend.ServeBatch(requests, &warm);
+  EXPECT_EQ(warm.Get(Ticker::kResultCacheHits), requests.size());
+  EXPECT_EQ(warm.Get(Ticker::kDistanceCalls), 0u);  // no engine touched
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(second[i].result_cache_hit);
+    EXPECT_EQ(second[i].ids, first[i].ids);
+  }
+}
+
+TEST_F(ServeFrontendTest, PermutedQueriesHitTheCandidateCache) {
+  QueryFrontendOptions options;
+  options.num_threads = 1;
+  QueryFrontend frontend(&store_, options);
+
+  const PreparedQuery& original = queries_[0];
+  // Same item set, different order: a different answer key but the same
+  // candidate key.
+  std::vector<ItemId> reversed(original.view().items().begin(),
+                               original.view().items().end());
+  std::reverse(reversed.begin(), reversed.end());
+  const PreparedQuery permuted(
+      std::move(Ranking::Create(reversed)).ValueOrDie());
+
+  Statistics stats;
+  const ServeRequest warmup[] = {
+      ServeRequest::Range(Algorithm::kFV, original, theta_)};
+  frontend.ServeBatch(warmup, &stats);
+  EXPECT_EQ(stats.Get(Ticker::kCandidateCacheMisses), 1u);
+
+  Statistics permuted_stats;
+  const ServeRequest probe[] = {
+      ServeRequest::Range(Algorithm::kFV, permuted, theta_)};
+  const auto responses = frontend.ServeBatch(probe, &permuted_stats);
+  EXPECT_EQ(permuted_stats.Get(Ticker::kCandidateCacheHits), 1u);
+  EXPECT_TRUE(responses[0].candidate_cache_hit);
+  EXPECT_FALSE(responses[0].result_cache_hit);
+  EXPECT_EQ(responses[0].ids,
+            testutil::BruteForce(store_, permuted, theta_));
+}
+
+TEST_F(ServeFrontendTest, CapacityZeroStaysExactWithoutCaching) {
+  QueryFrontendOptions options;
+  options.num_threads = 2;
+  options.result_cache_capacity = 0;
+  options.candidate_cache_capacity = 0;
+  QueryFrontend frontend(&store_, options);
+
+  std::vector<ServeRequest> requests;
+  for (int round = 0; round < 2; ++round) {
+    for (const PreparedQuery& query : queries_) {
+      requests.push_back(
+          ServeRequest::Range(Algorithm::kBlockedPruneDrop, query, theta_));
+    }
+  }
+  Statistics stats;
+  const auto responses = frontend.ServeBatch(requests, &stats);
+  EXPECT_EQ(stats.Get(Ticker::kResultCacheHits), 0u);
+  EXPECT_EQ(stats.Get(Ticker::kCandidateCacheHits), 0u);
+  EXPECT_EQ(frontend.result_cache_size(), 0u);
+  EXPECT_EQ(frontend.candidate_cache_size(), 0u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(responses[i].ids,
+              testutil::BruteForce(store_, *requests[i].query, theta_));
+  }
+}
+
+TEST_F(ServeFrontendTest, CapacityOneEvictsAndStaysExact) {
+  QueryFrontendOptions options;
+  options.num_threads = 1;
+  options.result_cache_capacity = 1;
+  options.candidate_cache_capacity = 0;
+  QueryFrontend frontend(&store_, options);
+
+  const PreparedQuery& a = queries_[0];
+  const PreparedQuery& b = queries_[1];
+  auto serve = [&](const PreparedQuery& query, Statistics* stats) {
+    const ServeRequest request[] = {
+        ServeRequest::Range(Algorithm::kFV, query, theta_)};
+    return frontend.ServeBatch(request, stats)[0];
+  };
+  Statistics stats;
+  serve(a, &stats);                              // miss, insert a
+  EXPECT_TRUE(serve(a, &stats).result_cache_hit);  // hit
+  serve(b, &stats);                              // miss, evicts a
+  EXPECT_GE(stats.Get(Ticker::kResultCacheEvictions), 1u);
+  const auto a_again = serve(a, &stats);  // miss again, still exact
+  EXPECT_FALSE(a_again.result_cache_hit);
+  EXPECT_EQ(a_again.ids, testutil::BruteForce(store_, a, theta_));
+  EXPECT_EQ(stats.Get(Ticker::kResultCacheHits), 1u);
+}
+
+TEST_F(ServeFrontendTest, HugeCapacityCachesEverything) {
+  QueryFrontendOptions options;
+  options.num_threads = 1;
+  options.result_cache_capacity = size_t{1} << 20;
+  options.candidate_cache_capacity = size_t{1} << 20;
+  QueryFrontend frontend(&store_, options);
+
+  std::vector<ServeRequest> requests;
+  for (const PreparedQuery& query : queries_) {
+    requests.push_back(ServeRequest::Range(Algorithm::kCoarse, query, theta_));
+  }
+  frontend.ServeBatch(requests);
+  Statistics warm;
+  frontend.ServeBatch(requests, &warm);
+  EXPECT_EQ(warm.Get(Ticker::kResultCacheHits), requests.size());
+  EXPECT_EQ(warm.Get(Ticker::kResultCacheEvictions), 0u);
+}
+
+TEST_F(ServeFrontendTest, InvalidationMakesEveryEntryUnservable) {
+  QueryFrontendOptions options;
+  options.num_threads = 1;
+  QueryFrontend frontend(&store_, options);
+
+  std::vector<ServeRequest> requests;
+  for (const PreparedQuery& query : queries_) {
+    requests.push_back(ServeRequest::Range(Algorithm::kFV, query, theta_));
+  }
+  frontend.ServeBatch(requests);
+  const uint64_t before = frontend.epoch();
+  frontend.InvalidateCaches();
+  EXPECT_EQ(frontend.epoch(), before + 1);
+
+  Statistics stats;
+  const auto responses = frontend.ServeBatch(requests, &stats);
+  EXPECT_EQ(stats.Get(Ticker::kResultCacheHits), 0u);
+  EXPECT_EQ(stats.Get(Ticker::kCandidateCacheHits), 0u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(responses[i].ids,
+              testutil::BruteForce(store_, *requests[i].query, theta_));
+  }
+  // The new generation repopulates and serves again.
+  Statistics warm;
+  frontend.ServeBatch(requests, &warm);
+  EXPECT_EQ(warm.Get(Ticker::kResultCacheHits), requests.size());
+}
+
+TEST_F(ServeFrontendTest, ExceptionPropagatesAndFrontendStaysUsable) {
+  QueryFrontendOptions options;
+  options.num_threads = 3;
+  QueryFrontend frontend(&store_, options);
+
+  // kMinimalFV is workload-bound and unservable; the batch must rethrow
+  // after every other request completed.
+  std::vector<ServeRequest> requests;
+  requests.push_back(ServeRequest::Range(Algorithm::kFV, queries_[0], theta_));
+  requests.push_back(
+      ServeRequest::Range(Algorithm::kMinimalFV, queries_[1], theta_));
+  requests.push_back(ServeRequest::Range(Algorithm::kFV, queries_[2], theta_));
+  EXPECT_THROW(frontend.ServeBatch(requests), std::invalid_argument);
+
+  // Unsupported k-NN backend and null query propagate the same way.
+  const ServeRequest bad_backend[] = {
+      ServeRequest::Knn(Algorithm::kFV, queries_[0], 5)};
+  EXPECT_THROW(frontend.ServeBatch(bad_backend), std::invalid_argument);
+  ServeRequest null_query = ServeRequest::Range(Algorithm::kFV, queries_[0],
+                                                theta_);
+  null_query.query = nullptr;
+  const ServeRequest null_batch[] = {null_query};
+  EXPECT_THROW(frontend.ServeBatch(null_batch), std::invalid_argument);
+
+  // The pool and caches survive: a clean batch still serves exactly.
+  const ServeRequest ok[] = {
+      ServeRequest::Range(Algorithm::kFV, queries_[3], theta_)};
+  const auto responses = frontend.ServeBatch(ok);
+  EXPECT_EQ(responses[0].ids,
+            testutil::BruteForce(store_, queries_[3], theta_));
+}
+
+TEST_F(ServeFrontendTest, KnnBackendsMatchLinearScanAndCache) {
+  QueryFrontendOptions options;
+  options.num_threads = 2;
+  QueryFrontend frontend(&store_, options);
+
+  const Algorithm backends[] = {Algorithm::kLinearScan, Algorithm::kBkTree,
+                                Algorithm::kMTree, Algorithm::kCoarse};
+  const size_t js[] = {1, 7, store_.size() + 3};
+  std::vector<ServeRequest> requests;
+  for (const Algorithm backend : backends) {
+    for (const size_t j : js) {
+      for (size_t q = 0; q < 4; ++q) {
+        requests.push_back(ServeRequest::Knn(backend, queries_[q], j));
+      }
+    }
+  }
+  const auto responses = frontend.ServeBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(responses[i].neighbors,
+              LinearScanKnn(store_, *requests[i].query, requests[i].j))
+        << "request " << i;
+  }
+  Statistics warm;
+  const auto cached = frontend.ServeBatch(requests, &warm);
+  EXPECT_EQ(warm.Get(Ticker::kResultCacheHits), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(cached[i].neighbors, responses[i].neighbors);
+  }
+}
+
+TEST_F(ServeFrontendTest, ThetaAtDmaxBypassesCandidateCacheExactly) {
+  QueryFrontendOptions options;
+  options.num_threads = 1;
+  QueryFrontend frontend(&store_, options);
+
+  const RawDistance dmax = MaxDistance(store_.k());
+  Statistics stats;
+  const ServeRequest request[] = {
+      ServeRequest::Range(Algorithm::kLinearScan, queries_[0], dmax)};
+  const auto responses = frontend.ServeBatch(request, &stats);
+  // Everything is within dmax; the posting union would have missed
+  // disjoint rankings, so the candidate cache must not have been used.
+  EXPECT_EQ(stats.Get(Ticker::kCandidateCacheMisses), 0u);
+  EXPECT_EQ(responses[0].ids.size(), store_.size());
+  EXPECT_EQ(responses[0].ids,
+            testutil::BruteForce(store_, queries_[0], dmax));
+}
+
+TEST_F(ServeFrontendTest, InvalidationUnderConcurrentServing) {
+  QueryFrontendOptions options;
+  options.num_threads = 4;
+  QueryFrontend frontend(&store_, options);
+
+  std::vector<ServeRequest> requests;
+  for (const PreparedQuery& query : queries_) {
+    requests.push_back(ServeRequest::Range(Algorithm::kCoarse, query, theta_));
+    requests.push_back(ServeRequest::Knn(Algorithm::kBkTree, query, 5));
+  }
+  frontend.Prepare(Algorithm::kCoarse);
+  frontend.Prepare(Algorithm::kBkTree);
+
+  // A rebuild-notifier thread bumps generations while batches are in
+  // flight; every answer must stay exact and no serve may crash or race
+  // (this test is part of the TSan CI job).
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      frontend.InvalidateCaches();
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    const auto responses = frontend.ServeBatch(requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].kind == ServeKind::kRange) {
+        ASSERT_EQ(responses[i].ids,
+                  testutil::BruteForce(store_, *requests[i].query, theta_))
+            << "round " << round << " request " << i;
+      } else {
+        ASSERT_EQ(responses[i].neighbors,
+                  LinearScanKnn(store_, *requests[i].query, requests[i].j))
+            << "round " << round << " request " << i;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  invalidator.join();
+}
+
+TEST_F(ServeFrontendTest, ServeWorkloadMatchesSequentialRunner) {
+  QueryFrontendOptions options;
+  options.num_threads = 3;
+  QueryFrontend frontend(&store_, options);
+  const RunResult served =
+      frontend.ServeWorkload(Algorithm::kCoarse, queries_, theta_);
+
+  EngineSuite suite(&store_);
+  auto engine = suite.MakeEngine(Algorithm::kCoarse);
+  const RunResult sequential = RunQueries(engine.get(), queries_, theta_);
+
+  EXPECT_EQ(served.num_queries, queries_.size());
+  EXPECT_EQ(served.num_threads, 3u);
+  EXPECT_EQ(served.result_hash, sequential.result_hash);
+  EXPECT_EQ(served.total_results, sequential.total_results);
+  EXPECT_EQ(served.stats.Get(Ticker::kResultCacheMisses) +
+                served.stats.Get(Ticker::kResultCacheHits),
+            queries_.size());
+}
+
+}  // namespace
+}  // namespace topk
