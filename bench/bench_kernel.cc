@@ -1,0 +1,48 @@
+// bench_kernel: standalone micro-benchmark of the src/kernel/ layer.
+//
+// Prints the same `kernel` section bench_baseline embeds into
+// BENCH_baseline.json (naive vs merge vs batched Footrule validation;
+// per-item vector lists vs the CSR posting arena), as its own JSON
+// document (default BENCH_kernel.json, override with --out=). Useful for
+// iterating on kernel changes without re-running the full baseline.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "json_writer.h"
+#include "kernel_bench.h"
+
+namespace topk {
+namespace {
+
+int Run(int argc, char** argv) {
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  std::string out_path = "BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  bench::PrintHeader("Kernel micro-benchmark (JSON)", args);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Uint(1);
+  bench::EmitKernelSection(&json, args);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) { return topk::Run(argc, argv); }

@@ -31,6 +31,7 @@
 #include "harness/query_algorithms.h"
 #include "harness/runner.h"
 #include "json_writer.h"
+#include "kernel_bench.h"
 #include "parallel_util.h"
 
 namespace topk {
@@ -346,6 +347,7 @@ int Run(int argc, char** argv) {
   json.EndObject();
 
   EmitFootruleKernel(&json);
+  bench::EmitKernelSection(&json, args);
   EmitIndexBuild(&json, datasets);
   EmitQueryLatency(&json, args, datasets);
   EmitParallelScaling(&json, args, datasets);

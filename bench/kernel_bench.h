@@ -1,0 +1,236 @@
+// The `kernel` benchmark section: micro-measurements of the src/kernel/
+// layer, shared by the standalone bench_kernel binary and bench_baseline
+// (which embeds the section into BENCH_baseline.json).
+//
+// Two experiments:
+//
+//   validate           one query vs. a span of candidates, the validate
+//                      phase's inner loop: naive O(k^2) kernel, scalar
+//                      merge kernel, and the batched validator (rank table
+//                      bound once per query + early exit against theta).
+//   posting_iteration  sweeping posting lists by item in random probe
+//                      order: one std::vector per item (the pre-arena
+//                      layout, rebuilt here for comparison) vs. the CSR
+//                      posting arena all indices now share.
+//
+// Every row reports ns per unit and the derived M units/s; the checksum
+// accumulated across kernels doubles as a correctness cross-check (all
+// three validate kernels must count the same accepted candidates).
+
+#ifndef TOPK_BENCH_KERNEL_BENCH_H_
+#define TOPK_BENCH_KERNEL_BENCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/footrule.h"
+#include "core/rng.h"
+#include "core/types.h"
+#include "invidx/plain_inverted_index.h"
+#include "json_writer.h"
+#include "kernel/footrule_batch.h"
+
+namespace topk {
+namespace bench {
+
+namespace kernel_detail {
+
+using Clock = std::chrono::steady_clock;
+
+inline double ElapsedNsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+/// Repeats `pass()` (which returns the number of units processed) until
+/// ~40ms elapsed and reports ns per unit.
+template <typename Pass>
+double MeasureNsPerUnit(Pass&& pass) {
+  uint64_t units = pass();  // warm-up, faults in code and data
+  constexpr double kMinNs = 40e6;
+  units = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    units += pass();
+    elapsed = ElapsedNsSince(start);
+  } while (elapsed < kMinNs);
+  return elapsed / static_cast<double>(units);
+}
+
+struct ValidateRow {
+  const char* kernel;
+  double ns_per_candidate;
+};
+
+}  // namespace kernel_detail
+
+/// Emits the `kernel` array (caller owns the surrounding object).
+inline void EmitKernelSection(JsonWriter* json, const BenchArgs& args) {
+  using kernel_detail::MeasureNsPerUnit;
+  json->Key("kernel");
+  json->BeginArray();
+
+  // --- validate: one query vs. many candidates, per k. ---
+  for (const uint32_t k : {5u, 10u, 25u}) {
+    const size_t n = 4096;
+    Rng rng(args.seed + k);
+    RankingStore store(k);
+    std::vector<ItemId> items;
+    for (size_t i = 0; i < n; ++i) {
+      items.clear();
+      while (items.size() < k) {
+        const auto item = static_cast<ItemId>(rng.Below(8 * k));
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          items.push_back(item);
+        }
+      }
+      store.AddUnchecked(items);
+    }
+    WorkloadOptions workload;
+    workload.num_queries = 16;
+    workload.perturbed_fraction = 0.7;
+    workload.seed = args.seed + 99;
+    const auto queries = MakeWorkload(store, workload);
+    const double theta = 0.3;
+    const RawDistance theta_raw = RawThreshold(theta, k);
+    std::vector<RankingId> all(store.size());
+    for (RankingId id = 0; id < store.size(); ++id) all[id] = id;
+
+    uint64_t sink = 0;
+    const double naive_ns = MeasureNsPerUnit([&] {
+      for (const PreparedQuery& query : queries) {
+        for (RankingId id = 0; id < store.size(); ++id) {
+          sink += FootruleDistanceNaive(query.view(), store.view(id)) <=
+                  theta_raw;
+        }
+      }
+      return queries.size() * store.size();
+    });
+    const double merge_ns = MeasureNsPerUnit([&] {
+      for (const PreparedQuery& query : queries) {
+        const SortedRankingView q = query.sorted_view();
+        for (RankingId id = 0; id < store.size(); ++id) {
+          sink += FootruleDistance(q, store.sorted(id)) <= theta_raw;
+        }
+      }
+      return queries.size() * store.size();
+    });
+    FootruleValidator validator;
+    std::vector<RankingId> out;
+    const double batched_ns = MeasureNsPerUnit([&] {
+      for (const PreparedQuery& query : queries) {
+        validator.BindQuery(query.view());
+        out.clear();
+        validator.ValidateSpan(store, all, theta_raw, &out, nullptr);
+        sink += out.size();
+      }
+      return queries.size() * store.size();
+    });
+    if (sink == UINT64_MAX) std::cerr << "unreachable\n";
+
+    const kernel_detail::ValidateRow rows[] = {
+        {"footrule_naive", naive_ns},
+        {"footrule_merge", merge_ns},
+        {"footrule_batched", batched_ns},
+    };
+    for (const auto& row : rows) {
+      json->BeginObject();
+      json->Key("bench");
+      json->String("validate");
+      json->Key("kernel");
+      json->String(row.kernel);
+      json->Key("k");
+      json->Uint(k);
+      json->Key("theta");
+      json->Double(theta);
+      json->Key("ns_per_candidate");
+      json->Double(row.ns_per_candidate);
+      json->Key("mcandidates_per_sec");
+      json->Double(1e3 / row.ns_per_candidate);
+      json->Key("speedup_vs_merge");
+      json->Double(merge_ns / row.ns_per_candidate);
+      json->EndObject();
+    }
+    std::cerr << "  kernel validate k=" << k << " done\n";
+  }
+
+  // --- posting_iteration: per-item vectors vs. the CSR arena. ---
+  {
+    const uint32_t k = 10;
+    const RankingStore store = MakeNyt(args, k);
+    const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+    // Rebuild the pre-arena layout for comparison.
+    std::vector<std::vector<RankingId>> vector_lists(
+        static_cast<size_t>(store.max_item()) + 1);
+    for (RankingId id = 0; id < store.size(); ++id) {
+      for (ItemId item : store.view(id).items()) {
+        vector_lists[item].push_back(id);
+      }
+    }
+    // Random probe order over the item directory: the access pattern of a
+    // query stream, where posting lookups are scattered.
+    Rng rng(args.seed + 7);
+    std::vector<ItemId> probes(1 << 14);
+    for (ItemId& probe : probes) {
+      probe = static_cast<ItemId>(rng.Below(vector_lists.size()));
+    }
+
+    uint64_t sink = 0;
+    struct Layout {
+      const char* name;
+      double ns_per_entry;
+    };
+    const double vec_ns = MeasureNsPerUnit([&] {
+      uint64_t entries = 0;
+      for (const ItemId probe : probes) {
+        for (const RankingId id : vector_lists[probe]) sink += id;
+        entries += vector_lists[probe].size();
+      }
+      return entries;
+    });
+    const double arena_ns = MeasureNsPerUnit([&] {
+      uint64_t entries = 0;
+      for (const ItemId probe : probes) {
+        const auto list = index.list(probe);
+        for (const RankingId id : list) sink += id;
+        entries += list.size();
+      }
+      return entries;
+    });
+    if (sink == UINT64_MAX) std::cerr << "unreachable\n";
+
+    const Layout layouts[] = {
+        {"vector_lists", vec_ns},
+        {"csr_arena", arena_ns},
+    };
+    for (const Layout& layout : layouts) {
+      json->BeginObject();
+      json->Key("bench");
+      json->String("posting_iteration");
+      json->Key("layout");
+      json->String(layout.name);
+      json->Key("k");
+      json->Uint(k);
+      json->Key("ns_per_entry");
+      json->Double(layout.ns_per_entry);
+      json->Key("mentries_per_sec");
+      json->Double(1e3 / layout.ns_per_entry);
+      json->Key("speedup_vs_vector_lists");
+      json->Double(vec_ns / layout.ns_per_entry);
+      json->EndObject();
+    }
+    std::cerr << "  kernel posting iteration done\n";
+  }
+
+  json->EndArray();
+}
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_KERNEL_BENCH_H_

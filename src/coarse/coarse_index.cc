@@ -76,10 +76,7 @@ std::vector<RankingId> CoarseIndex::Query(const PreparedQuery& query,
   Stopwatch watch;
 
   // --- Filter phase: find medoids within theta + radius of the query. ---
-  scratch->visited.EnsureCapacity(medoids_.size());
-  scratch->visited.NextEpoch();
-  std::vector<uint32_t>& candidates = scratch->candidates;
-  candidates.clear();
+  std::vector<RankingId>& candidates = scratch->filter.candidates;
   const RawDistance relaxed = theta_raw + max_radius_;
   if (relaxed >= MaxDistance(k)) {
     // Medoids sharing no item with the query could qualify but are
@@ -89,31 +86,26 @@ std::vector<RankingId> CoarseIndex::Query(const PreparedQuery& query,
       candidates[pid] = pid;
     }
   } else {
-    const std::vector<uint32_t> positions = SelectLists(
-        query.view(), relaxed, options_.drop,
-        [this](ItemId item) { return medoid_index_.list_length(item); },
-        stats);
-    for (uint32_t pos : positions) {
-      const auto list = medoid_index_.list(query.view()[pos]);
-      AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
-      for (RankingId pid : list) {
-        if (!scratch->visited.TestAndSet(pid)) candidates.push_back(pid);
-      }
-    }
+    FilterPhase(medoid_index_, query.view(), relaxed, options_.drop,
+                medoids_.size(), &scratch->filter, stats);
   }
   AddTicker(stats, Ticker::kCandidates, candidates.size());
 
   // Distance check on retrieved medoids still belongs to the filter cost
-  // in the paper's model (Table 3, "Find medoids for query").
+  // in the paper's model (Table 3, "Find medoids for query"). The batched
+  // validator binds the query rank table once; medoid probes and the
+  // partition-tree traversals below all reuse it.
+  scratch->validator.BindQuery(query.view(),
+                               static_cast<size_t>(store_->max_item()) + 1);
   struct Probe {
     uint32_t pid;
     RawDistance medoid_dist;
   };
   std::vector<Probe> probes;
-  const SortedRankingView q = query.sorted_view();
   for (uint32_t pid : candidates) {
     AddTicker(stats, Ticker::kDistanceCalls);
-    const RawDistance d = FootruleDistance(q, store_->sorted(medoids_[pid]));
+    const RawDistance d =
+        scratch->validator.Distance(store_->view(medoids_[pid]));
     if (d <= theta_raw + partitioning_.partitions[pid].radius) {
       probes.push_back(Probe{pid, d});
     }
@@ -126,7 +118,8 @@ std::vector<RankingId> CoarseIndex::Query(const PreparedQuery& query,
   std::vector<RankingId> results;
   for (const Probe& probe : probes) {
     AddTicker(stats, Ticker::kPartitionsProbed);
-    trees_[probe.pid].RangeQueryWithRootDistance(q, theta_raw,
+    trees_[probe.pid].RangeQueryWithRootDistance(scratch->validator,
+                                                 theta_raw,
                                                  probe.medoid_dist, stats,
                                                  &results);
   }

@@ -34,7 +34,8 @@
 #include "core/types.h"
 #include "invidx/drop_policy.h"
 #include "invidx/plain_inverted_index.h"
-#include "invidx/visited_set.h"
+#include "kernel/filter_phase.h"
+#include "kernel/footrule_batch.h"
 #include "metric/bk_tree.h"
 
 namespace topk {
@@ -53,13 +54,14 @@ struct CoarseOptions {
   uint64_t seed = 42;
 };
 
-/// Per-caller query scratch (medoid dedup set + candidate list). The index
-/// itself is immutable after Build, so concurrent queries are race-free as
-/// long as each thread brings its own CoarseScratch — the serving layer's
+/// Per-caller query scratch (the kernel filter scratch for medoid dedup
+/// plus the batched validator's query rank table). The index itself is
+/// immutable after Build, so concurrent queries are race-free as long as
+/// each thread brings its own CoarseScratch — the serving layer's
 /// inter-query parallelism relies on exactly this.
 struct CoarseScratch {
-  VisitedSet visited{0};
-  std::vector<uint32_t> candidates;
+  FilterScratch filter;
+  FootruleValidator validator;
 };
 
 class CoarseIndex {

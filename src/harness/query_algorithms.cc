@@ -175,11 +175,16 @@ class LinearScanAdapter : public QueryEngine {
   std::vector<RankingId> Query(size_t, const PreparedQuery& query,
                                RawDistance theta_raw, Statistics* stats,
                                PhaseTimes*) override {
-    return LinearScanQuery(*store_, query, theta_raw, stats);
+    // Engine-owned validator: the harness path runs the batched kernel;
+    // the free LinearScanQuery stays the scalar reference the
+    // differential suites compare against.
+    return LinearScanQueryBatched(*store_, query, theta_raw, &validator_,
+                                  stats);
   }
 
  private:
   const RankingStore* store_;
+  FootruleValidator validator_;
 };
 
 }  // namespace

@@ -2,27 +2,29 @@
 
 namespace topk {
 
-AugmentedInvertedIndex AugmentedInvertedIndex::Build(
-    const RankingStore& store) {
-  AugmentedInvertedIndex index;
-  index.lists_.resize(static_cast<size_t>(store.max_item()) + 1);
-  index.num_indexed_ = store.size();
+PostingArena<AugmentedEntry> BuildAugmentedArena(const RankingStore& store) {
+  PostingArenaBuilder<AugmentedEntry> builder(
+      static_cast<size_t>(store.max_item()) + 1);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    for (ItemId item : store.view(id).items()) builder.Count(item);
+  }
+  builder.FinishCounting();
+  // Ascending-id visit order keeps every list id-sorted.
   for (RankingId id = 0; id < store.size(); ++id) {
     const RankingView v = store.view(id);
     for (Rank p = 0; p < v.k(); ++p) {
-      index.lists_[v[p]].push_back(AugmentedEntry{id, p});
+      builder.Append(v[p], AugmentedEntry{id, p});
     }
-    index.num_entries_ += v.k();
   }
-  return index;
+  return std::move(builder).Build();
 }
 
-size_t AugmentedInvertedIndex::MemoryUsage() const {
-  size_t bytes = lists_.capacity() * sizeof(std::vector<AugmentedEntry>);
-  for (const auto& list : lists_) {
-    bytes += list.capacity() * sizeof(AugmentedEntry);
-  }
-  return bytes;
+AugmentedInvertedIndex AugmentedInvertedIndex::Build(
+    const RankingStore& store) {
+  AugmentedInvertedIndex index;
+  index.num_indexed_ = store.size();
+  index.arena_ = BuildAugmentedArena(store);
+  return index;
 }
 
 }  // namespace topk

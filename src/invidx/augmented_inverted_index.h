@@ -9,10 +9,10 @@
 #define TOPK_INVIDX_AUGMENTED_INVERTED_INDEX_H_
 
 #include <span>
-#include <vector>
 
 #include "core/ranking.h"
 #include "core/types.h"
+#include "kernel/posting_arena.h"
 
 namespace topk {
 
@@ -21,25 +21,31 @@ struct AugmentedEntry {
   Rank rank;
 };
 
+/// Two-pass counting build of the rank-augmented CSR arena over the whole
+/// store (lists id-sorted, directory sized max_item + 1). Shared by the
+/// augmented and blocked indexes, which differ only in post-processing.
+PostingArena<AugmentedEntry> BuildAugmentedArena(const RankingStore& store);
+
 class AugmentedInvertedIndex {
  public:
   static AugmentedInvertedIndex Build(const RankingStore& store);
 
   /// Id-sorted posting list for `item` (empty if never indexed).
   std::span<const AugmentedEntry> list(ItemId item) const {
-    if (item >= lists_.size()) return {};
-    return lists_[item];
+    return arena_.list(item);
   }
 
-  size_t list_length(ItemId item) const { return list(item).size(); }
+  size_t list_length(ItemId item) const { return arena_.list_length(item); }
   size_t num_indexed() const { return num_indexed_; }
-  size_t num_entries() const { return num_entries_; }
-  size_t MemoryUsage() const;
+  size_t num_entries() const { return arena_.num_entries(); }
+  /// Exact heap bytes of the CSR arena (see kernel/posting_arena.h).
+  size_t MemoryUsage() const { return arena_.MemoryUsage(); }
+
+  const PostingArena<AugmentedEntry>& arena() const { return arena_; }
 
  private:
-  std::vector<std::vector<AugmentedEntry>> lists_;
+  PostingArena<AugmentedEntry> arena_;
   size_t num_indexed_ = 0;
-  size_t num_entries_ = 0;
 };
 
 }  // namespace topk

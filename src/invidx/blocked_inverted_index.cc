@@ -12,19 +12,14 @@ BlockedInvertedIndex BlockedInvertedIndex::Build(const RankingStore& store) {
   index.k_ = store.k();
   index.num_indexed_ = store.size();
   const size_t num_items = static_cast<size_t>(store.max_item()) + 1;
-  index.lists_.resize(num_items);
-  for (RankingId id = 0; id < store.size(); ++id) {
-    const RankingView v = store.view(id);
-    for (Rank p = 0; p < v.k(); ++p) {
-      index.lists_[v[p]].push_back(AugmentedEntry{id, p});
-    }
-  }
+  index.arena_ = BuildAugmentedArena(store);
   // Rank-major (then id) order per list; scanning rankings in id order
   // already yields ids ascending within each rank, so a stable sort by rank
-  // suffices.
+  // suffices. Sorting happens in place inside the arena.
+  index.offsets_.reserve(num_items * (index.k_ + 1));
   index.offsets_.assign(num_items * (index.k_ + 1), 0);
   for (size_t item = 0; item < num_items; ++item) {
-    auto& list = index.lists_[item];
+    const std::span<AugmentedEntry> list = index.arena_.mutable_list(item);
     std::stable_sort(
         list.begin(), list.end(),
         [](const AugmentedEntry& a, const AugmentedEntry& b) {
@@ -39,15 +34,6 @@ BlockedInvertedIndex BlockedInvertedIndex::Build(const RankingStore& store) {
     off[index.k_] = static_cast<uint32_t>(list.size());
   }
   return index;
-}
-
-size_t BlockedInvertedIndex::MemoryUsage() const {
-  size_t bytes = lists_.capacity() * sizeof(std::vector<AugmentedEntry>) +
-                 offsets_.capacity() * sizeof(uint32_t);
-  for (const auto& list : lists_) {
-    bytes += list.capacity() * sizeof(AugmentedEntry);
-  }
-  return bytes;
 }
 
 BlockedEngine::BlockedEngine(const RankingStore* store,

@@ -17,6 +17,7 @@
 #include "core/types.h"
 #include "invidx/augmented_inverted_index.h"
 #include "invidx/drop_policy.h"
+#include "kernel/posting_arena.h"
 
 namespace topk {
 
@@ -26,35 +27,39 @@ class BlockedInvertedIndex {
 
   /// Entries of item's block at rank j (possibly empty).
   std::span<const AugmentedEntry> Block(ItemId item, Rank j) const {
-    if (item >= lists_.size()) return {};
+    if (item >= arena_.num_lists()) return {};
     const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
-    return std::span<const AugmentedEntry>(lists_[item]).subspan(
-        off[j], off[j + 1] - off[j]);
+    return arena_.list(item).subspan(off[j], off[j + 1] - off[j]);
   }
 
   /// Entries of item with rank in [lo, hi] (contiguous by construction).
   std::span<const AugmentedEntry> BlockRange(ItemId item, Rank lo,
                                              Rank hi) const {
-    if (item >= lists_.size()) return {};
+    if (item >= arena_.num_lists()) return {};
     const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
-    return std::span<const AugmentedEntry>(lists_[item]).subspan(
-        off[lo], off[hi + 1] - off[lo]);
+    return arena_.list(item).subspan(off[lo], off[hi + 1] - off[lo]);
   }
 
   std::span<const AugmentedEntry> list(ItemId item) const {
-    if (item >= lists_.size()) return {};
-    return lists_[item];
+    return arena_.list(item);
   }
 
-  size_t list_length(ItemId item) const { return list(item).size(); }
+  size_t list_length(ItemId item) const { return arena_.list_length(item); }
   uint32_t k() const { return k_; }
   size_t num_indexed() const { return num_indexed_; }
-  size_t MemoryUsage() const;
+  size_t num_entries() const { return arena_.num_entries(); }
+  /// Exact heap bytes: CSR arena + the per-item (k+1)-offset block
+  /// directory.
+  size_t MemoryUsage() const {
+    return arena_.MemoryUsage() + offsets_.capacity() * sizeof(uint32_t);
+  }
+
+  const PostingArena<AugmentedEntry>& arena() const { return arena_; }
 
  private:
   uint32_t k_ = 0;
   size_t num_indexed_ = 0;
-  std::vector<std::vector<AugmentedEntry>> lists_;
+  PostingArena<AugmentedEntry> arena_;
   std::vector<uint32_t> offsets_;  // (#items) * (k+1) block directory
 };
 

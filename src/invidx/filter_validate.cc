@@ -2,48 +2,33 @@
 
 #include <algorithm>
 
-#include "core/footrule.h"
-
 namespace topk {
 
 FilterValidateEngine::FilterValidateEngine(const RankingStore* store,
                                            const PlainInvertedIndex* index,
                                            FilterValidateOptions options)
-    : store_(store),
-      index_(index),
-      options_(options),
-      visited_(store->size()) {}
+    : store_(store), index_(index), options_(options) {
+  filter_.visited.EnsureCapacity(store->size());
+  validator_.EnsureItemCapacity(
+      store->empty() ? 0 : static_cast<size_t>(store->max_item()) + 1);
+}
 
 std::vector<RankingId> FilterValidateEngine::Query(const PreparedQuery& query,
                                                    RawDistance theta_raw,
                                                    Statistics* stats) {
   TOPK_DCHECK(query.k() == store_->k());
-  visited_.NextEpoch();
-  candidates_.clear();
 
   // Filter phase: union of the (possibly drop-reduced) posting lists.
-  const std::vector<uint32_t> positions =
-      SelectLists(query.view(), theta_raw, options_.drop,
-                  [this](ItemId item) { return index_->list_length(item); },
-                  stats);
-  for (uint32_t pos : positions) {
-    const auto list = index_->list(query.view()[pos]);
-    AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
-    for (RankingId id : list) {
-      if (!visited_.TestAndSet(id)) candidates_.push_back(id);
-    }
-  }
-  AddTicker(stats, Ticker::kCandidates, candidates_.size());
+  const std::span<const RankingId> candidates =
+      FilterPhase(*index_, query.view(), theta_raw, options_.drop,
+                  store_->size(), &filter_, stats);
+  AddTicker(stats, Ticker::kCandidates, candidates.size());
 
-  // Validate phase: exact distance per candidate.
+  // Validate phase: one batched pass, exact distance per candidate.
   std::vector<RankingId> results;
-  const SortedRankingView q = query.sorted_view();
-  for (RankingId id : candidates_) {
-    AddTicker(stats, Ticker::kDistanceCalls);
-    if (FootruleDistance(q, store_->sorted(id)) <= theta_raw) {
-      results.push_back(id);
-    }
-  }
+  validator_.BindQuery(query.view(),
+                       static_cast<size_t>(store_->max_item()) + 1);
+  validator_.ValidateSpan(*store_, candidates, theta_raw, &results, stats);
   std::sort(results.begin(), results.end());
   AddTicker(stats, Ticker::kResults, results.size());
   return results;

@@ -2,11 +2,13 @@
 // (Section 4), optionally with posting-list dropping (F&V+Drop,
 // Section 6.1).
 //
-// Filtering merges the query items' posting lists into a deduplicated
-// candidate set; validation computes the exact Footrule distance for every
-// candidate. The engine owns per-query scratch (an epoch-stamped visited
-// set), so one instance serves any number of sequential queries without
-// allocation churn.
+// Both phases are kernel calls (src/kernel/): FilterPhase merges the query
+// items' posting lists into a deduplicated candidate set, and the batched
+// FootruleValidator computes exact distances for the whole candidate span
+// from a query rank table bound once per query. The engine owns the
+// per-query scratch (visited set, candidate list, rank table), so one
+// instance serves any number of sequential queries without allocation
+// churn.
 
 #ifndef TOPK_INVIDX_FILTER_VALIDATE_H_
 #define TOPK_INVIDX_FILTER_VALIDATE_H_
@@ -18,7 +20,8 @@
 #include "core/types.h"
 #include "invidx/drop_policy.h"
 #include "invidx/plain_inverted_index.h"
-#include "invidx/visited_set.h"
+#include "kernel/filter_phase.h"
+#include "kernel/footrule_batch.h"
 
 namespace topk {
 
@@ -43,8 +46,8 @@ class FilterValidateEngine {
   const RankingStore* store_;
   const PlainInvertedIndex* index_;
   FilterValidateOptions options_;
-  VisitedSet visited_;
-  std::vector<RankingId> candidates_;
+  FilterScratch filter_;
+  FootruleValidator validator_;
 };
 
 }  // namespace topk

@@ -1,6 +1,7 @@
 #include "invidx/plain_inverted_index.h"
 
 #include <numeric>
+#include <vector>
 
 namespace topk {
 
@@ -19,26 +20,24 @@ PlainInvertedIndex PlainInvertedIndex::BuildImpl(
     const RankingStore& store, std::span<const RankingId> subset,
     bool use_subset_positions) {
   PlainInvertedIndex index;
-  index.lists_.resize(static_cast<size_t>(store.max_item()) + 1);
   index.num_indexed_ = subset.size();
+  PostingArenaBuilder<RankingId> builder(
+      static_cast<size_t>(store.max_item()) + 1);
+  for (RankingId id : subset) {
+    for (ItemId item : store.view(id).items()) builder.Count(item);
+  }
+  builder.FinishCounting();
+  // Rankings are visited in subset order, so every list comes out sorted
+  // by entry (ascending ids / subset positions), as before.
   for (size_t pos = 0; pos < subset.size(); ++pos) {
-    const RankingView v = store.view(subset[pos]);
     const RankingId entry =
         use_subset_positions ? static_cast<RankingId>(pos) : subset[pos];
-    for (ItemId item : v.items()) {
-      index.lists_[item].push_back(entry);
+    for (ItemId item : store.view(subset[pos]).items()) {
+      builder.Append(item, entry);
     }
-    index.num_entries_ += v.k();
   }
+  index.arena_ = std::move(builder).Build();
   return index;
-}
-
-size_t PlainInvertedIndex::MemoryUsage() const {
-  size_t bytes = lists_.capacity() * sizeof(std::vector<RankingId>);
-  for (const auto& list : lists_) {
-    bytes += list.capacity() * sizeof(RankingId);
-  }
-  return bytes;
 }
 
 }  // namespace topk

@@ -5,15 +5,19 @@
 // posting lists of a query's items yields every ranking that overlaps the
 // query at all (non-overlapping rankings are at distance dmax and can never
 // qualify for theta < dmax).
+//
+// Postings live in the shared CSR arena (kernel/posting_arena.h): one
+// contiguous entry buffer plus an offsets directory, so probing a list is
+// an offset lookup, not a vector dereference, and MemoryUsage() is exact.
 
 #ifndef TOPK_INVIDX_PLAIN_INVERTED_INDEX_H_
 #define TOPK_INVIDX_PLAIN_INVERTED_INDEX_H_
 
 #include <span>
-#include <vector>
 
 #include "core/ranking.h"
 #include "core/types.h"
+#include "kernel/posting_arena.h"
 
 namespace topk {
 
@@ -31,29 +35,31 @@ class PlainInvertedIndex {
 
   /// Posting list for `item`; empty for items never indexed.
   std::span<const RankingId> list(ItemId item) const {
-    if (item >= lists_.size()) return {};
-    return lists_[item];
+    return arena_.list(item);
   }
 
-  size_t list_length(ItemId item) const { return list(item).size(); }
+  size_t list_length(ItemId item) const { return arena_.list_length(item); }
 
   /// Number of indexed rankings (candidate ids are < this).
   size_t num_indexed() const { return num_indexed_; }
 
   /// Total posting entries across all lists.
-  size_t num_entries() const { return num_entries_; }
+  size_t num_entries() const { return arena_.num_entries(); }
 
-  /// Heap bytes (posting storage + directory), for Table 6 reporting.
-  size_t MemoryUsage() const;
+  /// Exact heap bytes (CSR entry buffer + offsets directory):
+  /// num_entries() * sizeof(RankingId) +
+  /// (max_item + 2) * sizeof(uint32_t), no capacity slack.
+  size_t MemoryUsage() const { return arena_.MemoryUsage(); }
+
+  const PostingArena<RankingId>& arena() const { return arena_; }
 
  private:
   static PlainInvertedIndex BuildImpl(const RankingStore& store,
                                       std::span<const RankingId> subset,
                                       bool use_subset_positions);
 
-  std::vector<std::vector<RankingId>> lists_;
+  PostingArena<RankingId> arena_;
   size_t num_indexed_ = 0;
-  size_t num_entries_ = 0;
 };
 
 }  // namespace topk

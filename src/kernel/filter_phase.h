@@ -1,0 +1,85 @@
+// Shared F&V filter phase: posting-union + dedup over caller-owned scratch.
+//
+// Every union-validating path in the library — FilterValidateEngine,
+// CoarseIndex's medoid retrieval, QueryFrontend's candidate-cache miss
+// path — runs the same loop: pick the accessible posting lists (drop
+// policy), scan them, and deduplicate ranking ids through an epoch-stamped
+// VisitedSet. Until this header existed each caller carried its own copy,
+// pinned together only by the fuzz differentials; now they all call
+// FilterPhase and the loop exists once.
+//
+// Contract (bit-compatible with the historical loops, which
+// kernel_filter_test pins):
+//  * lists are selected by SelectLists(query, theta_raw, drop, ...) and
+//    visited in ascending query-position order;
+//  * candidates are appended in first-encounter order (NOT sorted — F&V
+//    sorts its *results*, the frontend sorts the union before caching);
+//  * kPostingEntriesScanned ticks once per scanned entry (counted per
+//    list); kListsDropped ticks inside SelectLists; kCandidates is left to
+//    the caller, whose phase accounting differs (the frontend counts
+//    candidates in its validate step).
+//
+// The helper is generic over the index: anything with list(item) /
+// list_length(item) works, with PostingEntryId() extracting the ranking id
+// from plain (RankingId) and augmented (AugmentedEntry) entries alike.
+
+#ifndef TOPK_KERNEL_FILTER_PHASE_H_
+#define TOPK_KERNEL_FILTER_PHASE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+#include "invidx/drop_policy.h"
+#include "invidx/visited_set.h"
+
+namespace topk {
+
+/// Per-caller filter scratch: the dedup set plus the candidate list, both
+/// reused across queries so the hot path never allocates.
+struct FilterScratch {
+  VisitedSet visited{0};
+  std::vector<RankingId> candidates;
+};
+
+inline RankingId PostingEntryId(RankingId entry) { return entry; }
+/// Rank-augmented entry types expose the ranking id as a member.
+template <typename Entry>
+RankingId PostingEntryId(const Entry& entry) {
+  return entry.id;
+}
+
+/// Unions the accessible posting lists of `query` into
+/// `scratch->candidates` (first-encounter order) and returns a view of
+/// them. `id_capacity` bounds the ids the lists may contain (the store
+/// size, or the medoid count for subset indexes).
+template <typename Index>
+std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
+                                       RawDistance theta_raw, DropMode drop,
+                                       size_t id_capacity,
+                                       FilterScratch* scratch,
+                                       Statistics* stats = nullptr) {
+  scratch->visited.EnsureCapacity(id_capacity);
+  scratch->visited.NextEpoch();
+  scratch->candidates.clear();
+  const std::vector<uint32_t> positions = SelectLists(
+      query, theta_raw, drop,
+      [&index](ItemId item) { return index.list_length(item); }, stats);
+  for (uint32_t pos : positions) {
+    const auto list = index.list(query[pos]);
+    AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
+    for (const auto& entry : list) {
+      const RankingId id = PostingEntryId(entry);
+      if (!scratch->visited.TestAndSet(id)) {
+        scratch->candidates.push_back(id);
+      }
+    }
+  }
+  return scratch->candidates;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_KERNEL_FILTER_PHASE_H_

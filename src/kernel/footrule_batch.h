@@ -1,0 +1,170 @@
+// Batched one-vs-many Footrule validation.
+//
+// The scalar kernel (core/footrule.h) merges two item-sorted k-arrays per
+// call — optimal for one pair, but a validate phase evaluates ONE query
+// against hundreds of candidates, re-walking the query side every time
+// through a three-way unpredictable branch. The batched validator hoists
+// the query out of the loop: BindQuery() publishes an epoch-stamped
+// item -> query-rank table once, after which each candidate costs a single
+// pass over its own k items with one table probe per item and no merge
+// branching.
+//
+// Identity (the decomposition behind the kernel): with Sq = k(k+1)/2,
+//
+//   F(q, c) = sum_{p} contrib(c[p], p) + (Sq - qcover)
+//   contrib(item, p) = |rank_q(item) - p|   when item is in q
+//                    = k - p                otherwise
+//   qcover          = sum of (k - rank_q(item)) over matched items
+//
+// Every contrib term is >= 0, so the running sum is a monotone lower bound
+// of the final distance: ValidateSpan abandons a candidate as soon as the
+// partial sum exceeds theta (the "running lower bound vs theta" early
+// exit), which no merge-order argument is needed to justify.
+//
+// Exactness: the arithmetic is the same integers the scalar kernel sums in
+// a different order, so accept/reject decisions (and Distance() values)
+// are bit-identical — pinned against FootruleDistance by kernel_filter_test
+// and every fuzz differential.
+//
+// Ticker contract: ValidateSpan/ValidateAll tick kDistanceCalls once per
+// candidate (an early-exited candidate still "costs" one distance
+// evaluation in the paper's DFC accounting, exactly as the scalar loop it
+// replaced did); kCandidates/kResults stay with the caller.
+
+#ifndef TOPK_KERNEL_FOOTRULE_BATCH_H_
+#define TOPK_KERNEL_FOOTRULE_BATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/types.h"
+
+namespace topk {
+
+class FootruleValidator {
+ public:
+  FootruleValidator() = default;
+
+  /// "No cap" sentinel for BindQuery's item_domain.
+  static constexpr size_t kUnboundedDomain = SIZE_MAX;
+
+  /// Grows the rank table to cover item ids < `capacity`. Lookups of
+  /// larger ids are handled (absent), at the price of a bounds branch the
+  /// table hit path never takes.
+  void EnsureItemCapacity(size_t capacity) {
+    if (capacity > slots_.size()) slots_.resize(capacity, 0);
+  }
+
+  /// Publishes `query`'s item -> rank table; O(k) per bind (epoch-stamped
+  /// slots, no clearing). `item_domain` caps the table size — pass the
+  /// store's max_item() + 1 so a malformed or adversarial query item id
+  /// cannot force a giant allocation that lives as long as the validator.
+  /// Query items >= item_domain are simply never published: no candidate
+  /// the store can produce contains them, so they can only be absent and
+  /// the (Sq - qcover) term accounts for them exactly — distances are
+  /// unchanged.
+  void BindQuery(RankingView query, size_t item_domain = kUnboundedDomain) {
+    k_ = query.k();
+    half_absent_ = static_cast<RawDistance>(k_) * (k_ + 1) / 2;
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: clear lazily and restart
+      std::fill(slots_.begin(), slots_.end(), 0);
+      epoch_ = 1;
+    }
+    ItemId max_item = 0;
+    for (ItemId item : query.items()) max_item = std::max(max_item, item);
+    EnsureItemCapacity(
+        std::min(static_cast<size_t>(max_item) + 1, item_domain));
+    for (Rank p = 0; p < k_; ++p) {
+      const ItemId item = query[p];
+      if (item < item_domain) {
+        slots_[item] = (static_cast<uint64_t>(epoch_) << 32) | p;
+      }
+    }
+  }
+
+  /// Current rank-table coverage (tests assert the domain cap holds).
+  size_t table_capacity() const { return slots_.size(); }
+
+  uint32_t k() const { return k_; }
+
+  /// Exact Footrule distance from the bound query to `candidate`
+  /// (position-order view, same k). Equals FootruleDistance on the sorted
+  /// views.
+  RawDistance Distance(RankingView candidate) const {
+    TOPK_DCHECK(candidate.k() == k_);
+    RawDistance running = 0;
+    RawDistance qcover = 0;
+    for (Rank p = 0; p < k_; ++p) {
+      const ItemId item = candidate[p];
+      const uint64_t slot = item < slots_.size() ? slots_[item] : 0;
+      if ((slot >> 32) == epoch_) {
+        const Rank rq = static_cast<Rank>(slot);
+        running += rq > p ? rq - p : p - rq;
+        qcover += k_ - rq;
+      } else {
+        running += k_ - p;
+      }
+    }
+    return running + (half_absent_ - qcover);
+  }
+
+  /// Appends every candidate within `theta_raw` of the bound query to
+  /// `out`, in candidate order. Each candidate early-exits once its
+  /// running lower bound exceeds theta. Ticks kDistanceCalls per
+  /// candidate.
+  void ValidateSpan(const RankingStore& store,
+                    std::span<const RankingId> candidates,
+                    RawDistance theta_raw, std::vector<RankingId>* out,
+                    Statistics* stats) const {
+    AddTicker(stats, Ticker::kDistanceCalls, candidates.size());
+    for (const RankingId id : candidates) {
+      if (WithinThreshold(store.view(id), theta_raw)) out->push_back(id);
+    }
+  }
+
+  /// ValidateSpan over every id in the store (the LinearScan hot loop).
+  void ValidateAll(const RankingStore& store, RawDistance theta_raw,
+                   std::vector<RankingId>* out, Statistics* stats) const {
+    AddTicker(stats, Ticker::kDistanceCalls, store.size());
+    for (RankingId id = 0; id < store.size(); ++id) {
+      if (WithinThreshold(store.view(id), theta_raw)) out->push_back(id);
+    }
+  }
+
+  /// One candidate of ValidateSpan: true iff F(q, candidate) <= theta_raw.
+  bool WithinThreshold(RankingView candidate, RawDistance theta_raw) const {
+    TOPK_DCHECK(candidate.k() == k_);
+    RawDistance running = 0;
+    RawDistance qcover = 0;
+    for (Rank p = 0; p < k_; ++p) {
+      const ItemId item = candidate[p];
+      const uint64_t slot = item < slots_.size() ? slots_[item] : 0;
+      if ((slot >> 32) == epoch_) {
+        const Rank rq = static_cast<Rank>(slot);
+        running += rq > p ? rq - p : p - rq;
+        qcover += k_ - rq;
+      } else {
+        running += k_ - p;
+      }
+      if (running > theta_raw) return false;  // monotone lower bound
+    }
+    return running + (half_absent_ - qcover) <= theta_raw;
+  }
+
+ private:
+  /// slot = epoch << 32 | rank; a slot is live only under the current
+  /// epoch, so rebinding is O(k) and never clears the table.
+  std::vector<uint64_t> slots_;
+  uint32_t epoch_ = 0;
+  uint32_t k_ = 0;
+  RawDistance half_absent_ = 0;  // Sq = k(k+1)/2
+};
+
+}  // namespace topk
+
+#endif  // TOPK_KERNEL_FOOTRULE_BATCH_H_

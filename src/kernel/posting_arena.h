@@ -1,0 +1,147 @@
+// CSR posting arena: the single storage backend for every inverted index.
+//
+// A posting index over n_items lists is two flat arrays in compressed
+// sparse row layout:
+//
+//   entries_   all posting entries, list after list, contiguous
+//   offsets_   n_items + 1 cursors; list i is entries_[offsets_[i] ..
+//              offsets_[i+1])
+//
+// compared to one std::vector per item this removes a pointer chase and a
+// cache miss per probed list, drops the per-vector capacity slack and
+// 3-pointer header (MemoryUsage() becomes exact arithmetic over
+// num_entries), and makes whole-index iteration a linear sweep — the
+// layout Chen et al. ("Indexing Metric Spaces for Exact Similarity
+// Search") identify as the first lever for exact-search throughput.
+//
+// Construction is the classic two-pass counting build: size every list,
+// prefix-sum the counts into offsets, then write each entry at its list's
+// cursor. PostingArenaBuilder wraps the dance so index Build() functions
+// stay readable; allocation is exact (reserve-then-resize), so capacity
+// equals size on every mainstream standard library.
+
+#ifndef TOPK_KERNEL_POSTING_ARENA_H_
+#define TOPK_KERNEL_POSTING_ARENA_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace topk {
+
+template <typename Entry>
+class PostingArena {
+ public:
+  PostingArena() = default;
+
+  /// Number of posting lists (the item-id directory size).
+  size_t num_lists() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Total entries across all lists.
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Posting list `i`; empty for ids outside the directory.
+  std::span<const Entry> list(size_t i) const {
+    if (i >= num_lists()) return {};
+    return std::span<const Entry>(entries_)
+        .subspan(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  size_t list_length(size_t i) const { return list(i).size(); }
+
+  /// Mutable view of list `i` for in-place post-processing (the blocked
+  /// index sorts each list rank-major after the fill pass).
+  std::span<Entry> mutable_list(size_t i) {
+    TOPK_DCHECK(i < num_lists());
+    return std::span<Entry>(entries_).subspan(
+        offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// Start offset of list `i` within the flat entry array.
+  uint32_t offset(size_t i) const {
+    TOPK_DCHECK(i < offsets_.size());
+    return offsets_[i];
+  }
+
+  /// The whole entry buffer in list order (bench iteration sweeps).
+  std::span<const Entry> entries() const { return entries_; }
+
+  /// Exact heap bytes: both arrays are allocated to exactly their size,
+  /// so this equals num_entries() * sizeof(Entry) +
+  /// (num_lists() + 1) * sizeof(uint32_t) — asserted by the kernel tests.
+  size_t MemoryUsage() const {
+    return entries_.capacity() * sizeof(Entry) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  template <typename E>
+  friend class PostingArenaBuilder;
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> offsets_;  // num_lists + 1
+};
+
+/// Two-pass counting builder. Usage:
+///
+///   PostingArenaBuilder<Entry> builder(num_lists);
+///   for (...) builder.Count(item);          // pass 1: size every list
+///   builder.FinishCounting();               // prefix sums + allocation
+///   for (...) builder.Append(item, entry);  // pass 2: same visit order
+///   PostingArena<Entry> arena = std::move(builder).Build();
+///
+/// Entries land within each list in Append order, so visiting rankings in
+/// ascending id yields id-sorted lists exactly as the per-vector push_back
+/// builds did.
+template <typename Entry>
+class PostingArenaBuilder {
+ public:
+  explicit PostingArenaBuilder(size_t num_lists) {
+    arena_.offsets_.reserve(num_lists + 1);
+    arena_.offsets_.resize(num_lists + 1, 0);
+  }
+
+  void Count(size_t i) {
+    TOPK_DCHECK(i + 1 < arena_.offsets_.size());
+    ++arena_.offsets_[i + 1];
+  }
+
+  void FinishCounting() {
+    for (size_t i = 1; i < arena_.offsets_.size(); ++i) {
+      arena_.offsets_[i] += arena_.offsets_[i - 1];
+    }
+    const size_t total = arena_.offsets_.back();
+    arena_.entries_.reserve(total);
+    arena_.entries_.resize(total);
+    cursors_.assign(arena_.offsets_.begin(), arena_.offsets_.end() - 1);
+  }
+
+  void Append(size_t i, Entry entry) {
+    TOPK_DCHECK(i < cursors_.size());
+    TOPK_DCHECK(cursors_[i] < arena_.offsets_[i + 1]);
+    arena_.entries_[cursors_[i]++] = entry;
+  }
+
+  PostingArena<Entry> Build() && {
+#if !defined(NDEBUG)
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      TOPK_DCHECK(cursors_[i] == arena_.offsets_[i + 1] &&
+                  "Append pass did not match the Count pass");
+    }
+#endif
+    return std::move(arena_);
+  }
+
+ private:
+  PostingArena<Entry> arena_;
+  std::vector<uint32_t> cursors_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_KERNEL_POSTING_ARENA_H_

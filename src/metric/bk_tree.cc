@@ -89,9 +89,20 @@ void BkTree::RangeQueryWithRootDistance(SortedRankingView query,
   QueryNode(query, theta_raw, 0, root_dist, stats, out);
 }
 
-void BkTree::QueryNode(SortedRankingView query, RawDistance theta_raw,
-                       uint32_t node_index, RawDistance node_dist,
-                       Statistics* stats, std::vector<RankingId>* out) const {
+void BkTree::RangeQueryWithRootDistance(const FootruleValidator& validator,
+                                        RawDistance theta_raw,
+                                        RawDistance root_dist,
+                                        Statistics* stats,
+                                        std::vector<RankingId>* out) const {
+  if (nodes_.empty()) return;
+  QueryNodeBatched(validator, theta_raw, 0, root_dist, stats, out);
+}
+
+template <typename DistanceFn>
+void BkTree::QueryNodeImpl(const DistanceFn& distance, RawDistance theta_raw,
+                           uint32_t node_index, RawDistance node_dist,
+                           Statistics* stats,
+                           std::vector<RankingId>* out) const {
   AddTicker(stats, Ticker::kTreeNodesVisited);
   const Node& node = nodes_[node_index];
   if (node_dist <= theta_raw) out->push_back(node.id);
@@ -108,14 +119,34 @@ void BkTree::QueryNode(SortedRankingView query, RawDistance theta_raw,
       // the parent's, no Footrule call needed. This is the paper's
       // "exact matching rankings in one partition" effect that lets the
       // coarse index undercut even the Minimal F&V oracle in Figure 10.
-      QueryNode(query, theta_raw, child, node_dist, stats, out);
+      QueryNodeImpl(distance, theta_raw, child, node_dist, stats, out);
       continue;
     }
     AddTicker(stats, Ticker::kDistanceCalls);
-    const RawDistance child_dist =
-        FootruleDistance(query, store_->sorted(nodes_[child].id));
-    QueryNode(query, theta_raw, child, child_dist, stats, out);
+    const RawDistance child_dist = distance(nodes_[child].id);
+    QueryNodeImpl(distance, theta_raw, child, child_dist, stats, out);
   }
+}
+
+void BkTree::QueryNode(SortedRankingView query, RawDistance theta_raw,
+                       uint32_t node_index, RawDistance node_dist,
+                       Statistics* stats, std::vector<RankingId>* out) const {
+  QueryNodeImpl(
+      [this, query](RankingId id) {
+        return FootruleDistance(query, store_->sorted(id));
+      },
+      theta_raw, node_index, node_dist, stats, out);
+}
+
+void BkTree::QueryNodeBatched(const FootruleValidator& validator,
+                              RawDistance theta_raw, uint32_t node_index,
+                              RawDistance node_dist, Statistics* stats,
+                              std::vector<RankingId>* out) const {
+  QueryNodeImpl(
+      [this, &validator](RankingId id) {
+        return validator.Distance(store_->view(id));
+      },
+      theta_raw, node_index, node_dist, stats, out);
 }
 
 }  // namespace topk

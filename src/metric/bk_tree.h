@@ -19,6 +19,7 @@
 #include "core/ranking.h"
 #include "core/statistics.h"
 #include "core/types.h"
+#include "kernel/footrule_batch.h"
 
 namespace topk {
 
@@ -77,6 +78,16 @@ class BkTree {
                                   RawDistance root_dist, Statistics* stats,
                                   std::vector<RankingId>* out) const;
 
+  /// Same traversal driven by a pre-bound kernel validator: node distances
+  /// come from the query rank table instead of per-node merges. The coarse
+  /// validate phase binds the validator once per query and reuses it
+  /// across every probed partition tree. Results and tickers are identical
+  /// to the scalar overload (distances are exact either way).
+  void RangeQueryWithRootDistance(const FootruleValidator& validator,
+                                  RawDistance theta_raw,
+                                  RawDistance root_dist, Statistics* stats,
+                                  std::vector<RankingId>* out) const;
+
   size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
   const std::vector<Node>& nodes() const { return nodes_; }
@@ -84,9 +95,21 @@ class BkTree {
   size_t MemoryUsage() const { return nodes_.capacity() * sizeof(Node); }
 
  private:
+  /// One traversal body for both overloads: `distance(id)` supplies the
+  /// query distance of a node's ranking (scalar merge kernel or the
+  /// pre-bound batched validator), so the pruning rule, the 0-edge
+  /// duplicate-distance reuse, and the tickers cannot diverge.
+  template <typename DistanceFn>
+  void QueryNodeImpl(const DistanceFn& distance, RawDistance theta_raw,
+                     uint32_t node_index, RawDistance node_dist,
+                     Statistics* stats, std::vector<RankingId>* out) const;
   void QueryNode(SortedRankingView query, RawDistance theta_raw,
                  uint32_t node_index, RawDistance node_dist,
                  Statistics* stats, std::vector<RankingId>* out) const;
+  void QueryNodeBatched(const FootruleValidator& validator,
+                        RawDistance theta_raw, uint32_t node_index,
+                        RawDistance node_dist, Statistics* stats,
+                        std::vector<RankingId>* out) const;
 
   const RankingStore* store_;
   BkTreeOptions options_;

@@ -20,4 +20,17 @@ std::vector<RankingId> LinearScanQuery(const RankingStore& store,
   return results;
 }
 
+std::vector<RankingId> LinearScanQueryBatched(const RankingStore& store,
+                                              const PreparedQuery& query,
+                                              RawDistance theta_raw,
+                                              FootruleValidator* validator,
+                                              Statistics* stats) {
+  std::vector<RankingId> results;
+  validator->BindQuery(query.view(),
+                       static_cast<size_t>(store.max_item()) + 1);
+  validator->ValidateAll(store, theta_raw, &results, stats);
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
 }  // namespace topk

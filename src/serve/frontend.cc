@@ -8,8 +8,6 @@
 #include <string>
 #include <utility>
 
-#include "core/footrule.h"
-
 namespace topk {
 
 bool CandidateCacheApplies(Algorithm algorithm) {
@@ -198,24 +196,24 @@ std::vector<RankingId> QueryFrontend::ServeRange(Executor* executor,
     // superset against this query's exact distances.
     response->candidate_cache_hit = true;
     Stopwatch watch;
-    std::vector<RankingId> results = ValidateCandidates(
-        *memoized, query, request.theta_raw, &executor->stats);
+    std::vector<RankingId> results =
+        ValidateCandidates(executor, *memoized, query, request.theta_raw);
     executor->phases.validate_ms += watch.ElapsedMillis();
     return results;
   }
   // Miss: for the union-validating algorithms the filter output IS the
   // posting union, so compute it once, validate it directly (this is
   // exactly plain F&V — exact below dmax), and memoize it. Running the
-  // engine and recomputing the union would filter twice. PostingUnion +
-  // ValidateCandidates mirror FilterValidateEngine's two phases; the
-  // FuzzServe differential keeps the pair bit-identical to the engines
-  // (ROADMAP lists extracting a shared filter-phase helper).
+  // engine and recomputing the union would filter twice. Both phases are
+  // the same kernel calls FilterValidateEngine makes (FilterPhase + the
+  // batched validator); the FuzzServe differential keeps them
+  // bit-identical to the engines.
   Stopwatch watch;
   std::vector<RankingId> candidates = PostingUnion(executor, query);
   executor->phases.filter_ms += watch.ElapsedMillis();
   watch.Restart();
-  std::vector<RankingId> results = ValidateCandidates(
-      candidates, query, request.theta_raw, &executor->stats);
+  std::vector<RankingId> results =
+      ValidateCandidates(executor, candidates, query, request.theta_raw);
   executor->phases.validate_ms += watch.ElapsedMillis();
   candidate_cache_.Insert(key, epoch, std::move(candidates),
                           &executor->stats);
@@ -255,33 +253,25 @@ std::vector<Neighbor> QueryFrontend::ServeKnn(Executor* executor,
 
 std::vector<RankingId> QueryFrontend::PostingUnion(
     Executor* executor, const PreparedQuery& query) {
-  executor->visited.EnsureCapacity(store_->size());
-  executor->visited.NextEpoch();
-  std::vector<RankingId>& out = executor->union_scratch;
-  out.clear();
-  for (const ItemId item : query.view().items()) {
-    const auto list = plain_index_->list(item);
-    AddTicker(&executor->stats, Ticker::kPostingEntriesScanned, list.size());
-    for (const RankingId id : list) {
-      if (!executor->visited.TestAndSet(id)) out.push_back(id);
-    }
-  }
+  // DropMode::kNone accesses every list, so the union depends only on the
+  // item set (the candidate-cache key); theta is irrelevant to it.
+  FilterPhase(*plain_index_, query.view(), /*theta_raw=*/0, DropMode::kNone,
+              store_->size(), &executor->filter, &executor->stats);
+  std::vector<RankingId>& out = executor->filter.candidates;
   std::sort(out.begin(), out.end());
   return out;  // copies out of the reusable scratch
 }
 
 std::vector<RankingId> QueryFrontend::ValidateCandidates(
-    std::span<const RankingId> candidates, const PreparedQuery& query,
-    RawDistance theta_raw, Statistics* stats) const {
+    Executor* executor, std::span<const RankingId> candidates,
+    const PreparedQuery& query, RawDistance theta_raw) const {
+  Statistics* stats = &executor->stats;
   std::vector<RankingId> results;
-  const SortedRankingView q = query.sorted_view();
   AddTicker(stats, Ticker::kCandidates, candidates.size());
-  for (const RankingId id : candidates) {
-    AddTicker(stats, Ticker::kDistanceCalls);
-    if (FootruleDistance(q, store_->sorted(id)) <= theta_raw) {
-      results.push_back(id);
-    }
-  }
+  executor->validator.BindQuery(query.view(),
+                                static_cast<size_t>(store_->max_item()) + 1);
+  executor->validator.ValidateSpan(*store_, candidates, theta_raw, &results,
+                                   stats);
   AddTicker(stats, Ticker::kResults, results.size());
   return results;
 }

@@ -60,7 +60,8 @@
 #include "harness/query_algorithms.h"
 #include "harness/runner.h"
 #include "harness/thread_pool.h"
-#include "invidx/visited_set.h"
+#include "kernel/filter_phase.h"
+#include "kernel/footrule_batch.h"
 #include "metric/knn.h"
 #include "serve/candidate_cache.h"
 #include "serve/fingerprint.h"
@@ -174,10 +175,13 @@ class QueryFrontend {
  private:
   struct Executor {
     std::map<Algorithm, std::unique_ptr<QueryEngine>> engines;
-    Statistics stats;          // per-batch, merged after the join
-    PhaseTimes phases;         // per-batch, merged after the join
-    VisitedSet visited{0};     // posting-union dedup scratch
-    std::vector<RankingId> union_scratch;
+    // Per-batch accounting, merged after the join.
+    Statistics stats;
+    PhaseTimes phases;
+    // Kernel scratch: posting-union dedup + the batched validator's
+    // query rank table.
+    FilterScratch filter;
+    FootruleValidator validator;
   };
 
   std::vector<ServeResponse> ServeBatchInternal(
@@ -195,14 +199,16 @@ class QueryFrontend {
                                    const ServeRequest& request);
   std::vector<Neighbor> ServeKnn(Executor* executor,
                                  const ServeRequest& request);
-  /// The deduplicated, ascending union of the query items' posting lists.
+  /// The deduplicated, ascending union of the query items' posting lists
+  /// (the kernel FilterPhase plus a sort for the canonical cache form).
   std::vector<RankingId> PostingUnion(Executor* executor,
                                       const PreparedQuery& query);
-  /// Validates `candidates` (ascending) against theta, ticking the same
-  /// counters a plain validate phase would.
+  /// Validates `candidates` (ascending) against theta through the
+  /// executor's batched validator, ticking the same counters a plain
+  /// validate phase would.
   std::vector<RankingId> ValidateCandidates(
-      std::span<const RankingId> candidates, const PreparedQuery& query,
-      RawDistance theta_raw, Statistics* stats) const;
+      Executor* executor, std::span<const RankingId> candidates,
+      const PreparedQuery& query, RawDistance theta_raw) const;
 
   const RankingStore* store_;
   QueryFrontendOptions options_;

@@ -64,9 +64,15 @@ TEST(PlainInvertedIndexTest, SubsetBuildUsesSubsetPositions) {
   }
 }
 
-TEST(PlainInvertedIndexTest, MemoryUsagePositive) {
+TEST(PlainInvertedIndexTest, MemoryUsageIsExactHeapBytes) {
   const RankingStore store = testutil::MakeUniformStore(5, 100, 50, 15);
   const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  // The CSR arena allocates exactly: num_entries posting ids plus the
+  // (max_item + 2)-slot offsets directory — no capacity-vs-size estimate.
+  EXPECT_EQ(index.MemoryUsage(),
+            index.num_entries() * sizeof(RankingId) +
+                (static_cast<size_t>(store.max_item()) + 2) *
+                    sizeof(uint32_t));
   EXPECT_GT(index.MemoryUsage(), store.size() * 5 * sizeof(RankingId));
 }
 

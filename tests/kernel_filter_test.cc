@@ -1,0 +1,315 @@
+// Differential suite for the src/kernel/ layer.
+//
+// FilterPhase is pinned bit-identical (candidate order included) to the
+// pre-refactor F&V filter loop — reproduced here verbatim as the
+// reference — across the plain, augmented, and blocked indices, all drop
+// policies, and the empty/single-item/dmax edge cases. The batched
+// Footrule validator is pinned against the scalar merge kernel, and the
+// CSR arena's memory accounting is checked as exact arithmetic.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/footrule.h"
+#include "invidx/augmented_inverted_index.h"
+#include "invidx/blocked_inverted_index.h"
+#include "invidx/filter_validate.h"
+#include "invidx/plain_inverted_index.h"
+#include "kernel/filter_phase.h"
+#include "kernel/footrule_batch.h"
+#include "kernel/posting_arena.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+// The historical F&V filter loop (invidx/filter_validate.cc before the
+// kernel refactor): SelectLists, then scan each kept list and dedup
+// through an epoch-stamped visited set, appending in first-encounter
+// order. Any divergence from FilterPhase is a kernel regression.
+template <typename Index>
+std::vector<RankingId> ReferenceFilter(const Index& index, RankingView query,
+                                       RawDistance theta_raw, DropMode drop,
+                                       size_t id_capacity) {
+  VisitedSet visited(id_capacity);
+  visited.NextEpoch();
+  std::vector<RankingId> candidates;
+  const std::vector<uint32_t> positions = SelectLists(
+      query, theta_raw, drop,
+      [&index](ItemId item) { return index.list_length(item); }, nullptr);
+  for (uint32_t pos : positions) {
+    for (const auto& entry : index.list(query[pos])) {
+      const RankingId id = PostingEntryId(entry);
+      if (!visited.TestAndSet(id)) candidates.push_back(id);
+    }
+  }
+  return candidates;
+}
+
+template <typename Index>
+void ExpectFilterMatchesReference(const Index& index,
+                                  const RankingStore& store,
+                                  const std::vector<PreparedQuery>& queries,
+                                  RawDistance theta_raw, DropMode drop) {
+  FilterScratch scratch;
+  for (const PreparedQuery& query : queries) {
+    Statistics stats;
+    const auto got = FilterPhase(index, query.view(), theta_raw, drop,
+                                 store.size(), &scratch, &stats);
+    const auto want = ReferenceFilter(index, query.view(), theta_raw, drop,
+                                      store.size());
+    ASSERT_EQ(std::vector<RankingId>(got.begin(), got.end()), want)
+        << "drop=" << DropModeName(drop) << " theta_raw=" << theta_raw;
+  }
+}
+
+class KernelFilterTest : public ::testing::Test {
+ protected:
+  void RunAcrossIndices(const RankingStore& store,
+                        const std::vector<PreparedQuery>& queries,
+                        RawDistance theta_raw, DropMode drop) {
+    const PlainInvertedIndex plain = PlainInvertedIndex::Build(store);
+    const AugmentedInvertedIndex augmented =
+        AugmentedInvertedIndex::Build(store);
+    const BlockedInvertedIndex blocked = BlockedInvertedIndex::Build(store);
+    ExpectFilterMatchesReference(plain, store, queries, theta_raw, drop);
+    ExpectFilterMatchesReference(augmented, store, queries, theta_raw, drop);
+    ExpectFilterMatchesReference(blocked, store, queries, theta_raw, drop);
+  }
+};
+
+TEST_F(KernelFilterTest, MatchesReferenceAcrossIndicesAndDropPolicies) {
+  const RankingStore store = testutil::MakeClusteredStore(7, 400, 21);
+  const auto queries = testutil::MakeQueries(store, 25, 22);
+  for (const DropMode drop :
+       {DropMode::kNone, DropMode::kConservative, DropMode::kPositionRefined}) {
+    for (const double theta : {0.0, 0.1, 0.3, 0.6, 0.9}) {
+      RunAcrossIndices(store, queries, RawThreshold(theta, 7), drop);
+    }
+  }
+}
+
+TEST_F(KernelFilterTest, EmptyStoreYieldsNoCandidates) {
+  const RankingStore store(5);
+  const PlainInvertedIndex plain = PlainInvertedIndex::Build(store);
+  FilterScratch scratch;
+  const auto queries = testutil::MakeQueries(
+      testutil::MakeUniformStore(5, 10, 20, 23), 5, 24);
+  for (const PreparedQuery& query : queries) {
+    const auto got = FilterPhase(plain, query.view(), RawThreshold(0.5, 5),
+                                 DropMode::kNone, store.size(), &scratch);
+    EXPECT_TRUE(got.empty());
+  }
+}
+
+TEST_F(KernelFilterTest, SingleItemRankings) {
+  // k = 1: dmax = 2, every drop policy degenerates to "access the list".
+  const RankingStore store = testutil::MakeUniformStore(1, 50, 10, 25);
+  const auto queries = testutil::MakeQueries(store, 10, 26);
+  for (const DropMode drop :
+       {DropMode::kNone, DropMode::kConservative, DropMode::kPositionRefined}) {
+    RunAcrossIndices(store, queries, RawThreshold(0.4, 1), drop);
+  }
+}
+
+TEST_F(KernelFilterTest, DmaxThresholdStillMatchesReference) {
+  // theta_raw = dmax: MinOverlap is 0, so no list may be dropped; the
+  // union is still only the overlapping rankings (the F&V caveat).
+  const RankingStore store = testutil::MakeUniformStore(5, 200, 40, 27);
+  const auto queries = testutil::MakeQueries(store, 10, 28);
+  for (const DropMode drop :
+       {DropMode::kNone, DropMode::kConservative, DropMode::kPositionRefined}) {
+    RunAcrossIndices(store, queries, MaxDistance(5), drop);
+  }
+}
+
+TEST_F(KernelFilterTest, SubsetIndexFilterUsesSubsetPositions) {
+  // The coarse medoid retrieval filters over a BuildSubset index whose
+  // entries are subset positions; id_capacity is the subset size.
+  const RankingStore store = testutil::MakeUniformStore(4, 120, 30, 29);
+  const std::vector<RankingId> subset = {3, 17, 42, 88, 101};
+  const PlainInvertedIndex index =
+      PlainInvertedIndex::BuildSubset(store, subset);
+  const auto queries = testutil::MakeQueries(store, 10, 30);
+  FilterScratch scratch;
+  for (const PreparedQuery& query : queries) {
+    const auto got = FilterPhase(index, query.view(), RawThreshold(0.5, 4),
+                                 DropMode::kNone, subset.size(), &scratch);
+    const auto want = ReferenceFilter(index, query.view(),
+                                      RawThreshold(0.5, 4), DropMode::kNone,
+                                      subset.size());
+    ASSERT_EQ(std::vector<RankingId>(got.begin(), got.end()), want);
+    for (const RankingId pos : got) ASSERT_LT(pos, subset.size());
+  }
+}
+
+TEST_F(KernelFilterTest, TickersMatchScannedEntries) {
+  const RankingStore store = testutil::MakeUniformStore(5, 150, 35, 31);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  const auto queries = testutil::MakeQueries(store, 5, 32);
+  FilterScratch scratch;
+  for (const PreparedQuery& query : queries) {
+    Statistics stats;
+    FilterPhase(index, query.view(), MaxDistance(5) - 1, DropMode::kNone,
+                store.size(), &scratch, &stats);
+    size_t expected = 0;
+    for (const ItemId item : query.view().items()) {
+      expected += index.list_length(item);
+    }
+    EXPECT_EQ(stats.Get(Ticker::kPostingEntriesScanned), expected);
+    // FilterPhase leaves kCandidates to the caller.
+    EXPECT_EQ(stats.Get(Ticker::kCandidates), 0u);
+  }
+}
+
+// --- Batched Footrule validator vs. the scalar merge kernel. ---
+
+TEST(FootruleValidatorTest, DistanceMatchesScalarKernel) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 300, 33);
+  const auto queries = testutil::MakeQueries(store, 20, 34);
+  FootruleValidator validator;
+  for (const PreparedQuery& query : queries) {
+    validator.BindQuery(query.view());
+    for (RankingId id = 0; id < store.size(); ++id) {
+      ASSERT_EQ(validator.Distance(store.view(id)),
+                FootruleDistance(query.sorted_view(), store.sorted(id)));
+    }
+  }
+}
+
+TEST(FootruleValidatorTest, ValidateSpanMatchesScalarDecisions) {
+  const RankingStore store = testutil::MakeClusteredStore(8, 250, 35);
+  const auto queries = testutil::MakeQueries(store, 15, 36);
+  std::vector<RankingId> all(store.size());
+  for (RankingId id = 0; id < store.size(); ++id) all[id] = id;
+  FootruleValidator validator;
+  for (const PreparedQuery& query : queries) {
+    for (const double theta : {0.0, 0.05, 0.3, 0.7, 1.0}) {
+      const RawDistance theta_raw = RawThreshold(theta, 8);
+      validator.BindQuery(query.view());
+      std::vector<RankingId> got;
+      Statistics stats;
+      validator.ValidateSpan(store, all, theta_raw, &got, &stats);
+      ASSERT_EQ(got, testutil::BruteForce(store, query, theta_raw))
+          << "theta=" << theta;
+      // One DFC per candidate, early exit or not (paper accounting).
+      EXPECT_EQ(stats.Get(Ticker::kDistanceCalls), store.size());
+    }
+  }
+}
+
+TEST(FootruleValidatorTest, RebindReusesTableAcrossQueries) {
+  // Interleaved rebinding must not leak ranks between queries (the epoch
+  // stamps, not clears, the table).
+  const RankingStore store = testutil::MakeUniformStore(6, 100, 200, 37);
+  const auto queries = testutil::MakeQueries(store, 10, 38);
+  FootruleValidator validator;
+  for (int round = 0; round < 3; ++round) {
+    for (const PreparedQuery& query : queries) {
+      validator.BindQuery(query.view());
+      for (RankingId id = 0; id < store.size(); id += 7) {
+        ASSERT_EQ(validator.Distance(store.view(id)),
+                  FootruleDistance(query.sorted_view(), store.sorted(id)));
+      }
+    }
+  }
+}
+
+TEST(FootruleValidatorTest, ItemDomainCapsTableWithoutChangingDistances) {
+  // A query carrying a huge (malformed / adversarial) item id must not
+  // force a giant rank table: capped at the store's item domain, the
+  // uncovered query item can only be absent from every candidate, which
+  // the (Sq - qcover) term accounts for exactly.
+  RankingStore store(3);
+  ASSERT_TRUE(store.Add(std::vector<ItemId>{0, 1, 2}).ok());
+  ASSERT_TRUE(store.Add(std::vector<ItemId>{1, 2, 3}).ok());
+  const PreparedQuery query(
+      Ranking::Create(std::vector<ItemId>{1, 2, 4000000000u}).ValueOrDie());
+  const size_t domain = static_cast<size_t>(store.max_item()) + 1;
+  FootruleValidator validator;
+  validator.BindQuery(query.view(), domain);
+  EXPECT_LE(validator.table_capacity(), domain);
+  for (RankingId id = 0; id < store.size(); ++id) {
+    EXPECT_EQ(validator.Distance(store.view(id)),
+              FootruleDistance(query.sorted_view(), store.sorted(id)));
+  }
+}
+
+TEST(FootruleValidatorTest, CandidateItemsBeyondTableAreAbsent) {
+  // Candidates may contain item ids the query never touched (beyond the
+  // table's size); they must count as absent, not crash.
+  RankingStore store(3);
+  ASSERT_TRUE(store.Add(std::vector<ItemId>{1000000, 2000000, 3000000}).ok());
+  const PreparedQuery query(
+      Ranking::Create(std::vector<ItemId>{0, 1, 2}).ValueOrDie());
+  FootruleValidator validator;
+  validator.BindQuery(query.view());
+  EXPECT_EQ(validator.Distance(store.view(0)),
+            FootruleDistance(query.sorted_view(), store.sorted(0)));
+  EXPECT_EQ(validator.Distance(store.view(0)), MaxDistance(3));
+}
+
+// --- CSR arena: structure and exact memory accounting. ---
+
+TEST(PostingArenaTest, BuilderProducesExactLists) {
+  PostingArenaBuilder<RankingId> builder(4);
+  const std::vector<std::pair<size_t, RankingId>> entries = {
+      {0, 1}, {2, 2}, {0, 3}, {3, 4}, {0, 5}};
+  for (const auto& [list, entry] : entries) builder.Count(list);
+  builder.FinishCounting();
+  for (const auto& [list, entry] : entries) builder.Append(list, entry);
+  const PostingArena<RankingId> arena = std::move(builder).Build();
+
+  EXPECT_EQ(arena.num_lists(), 4u);
+  EXPECT_EQ(arena.num_entries(), 5u);
+  EXPECT_EQ(std::vector<RankingId>(arena.list(0).begin(), arena.list(0).end()),
+            (std::vector<RankingId>{1, 3, 5}));
+  EXPECT_TRUE(arena.list(1).empty());
+  EXPECT_EQ(arena.list(2).size(), 1u);
+  EXPECT_EQ(arena.list(3).front(), 4u);
+  EXPECT_TRUE(arena.list(99).empty());
+}
+
+TEST(PostingArenaTest, MemoryUsageIsExactArithmetic) {
+  const RankingStore store = testutil::MakeUniformStore(5, 500, 80, 39);
+  const PlainInvertedIndex plain = PlainInvertedIndex::Build(store);
+  EXPECT_EQ(plain.MemoryUsage(),
+            plain.num_entries() * sizeof(RankingId) +
+                (static_cast<size_t>(store.max_item()) + 2) *
+                    sizeof(uint32_t));
+
+  const AugmentedInvertedIndex augmented =
+      AugmentedInvertedIndex::Build(store);
+  EXPECT_EQ(augmented.MemoryUsage(),
+            augmented.num_entries() * sizeof(AugmentedEntry) +
+                (static_cast<size_t>(store.max_item()) + 2) *
+                    sizeof(uint32_t));
+
+  const BlockedInvertedIndex blocked = BlockedInvertedIndex::Build(store);
+  const size_t num_items = static_cast<size_t>(store.max_item()) + 1;
+  EXPECT_EQ(blocked.MemoryUsage(),
+            blocked.num_entries() * sizeof(AugmentedEntry) +
+                (num_items + 1) * sizeof(uint32_t) +
+                num_items * (store.k() + 1) * sizeof(uint32_t));
+}
+
+// --- End-to-end: the refactored engines still answer exactly. ---
+
+TEST(KernelEndToEndTest, FvOverArenaMatchesBruteForce) {
+  const RankingStore store = testutil::MakeClusteredStore(6, 300, 41);
+  const PlainInvertedIndex index = PlainInvertedIndex::Build(store);
+  FilterValidateEngine engine(&store, &index);
+  const auto queries = testutil::MakeQueries(store, 20, 42);
+  for (const PreparedQuery& query : queries) {
+    for (const double theta : {0.1, 0.4, 0.8}) {
+      const RawDistance theta_raw = RawThreshold(theta, 6);
+      ASSERT_EQ(engine.Query(query, theta_raw),
+                testutil::BruteForce(store, query, theta_raw));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk
