@@ -36,6 +36,7 @@ int Run(int argc, char** argv) {
   json.Key("schema_version");
   json.Uint(1);
   bench::EmitKernelSection(&json, args);
+  bench::EmitSimdSection(&json, args);
   json.EndObject();
   out << "\n";
   std::cout << "wrote " << out_path << "\n";

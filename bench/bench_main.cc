@@ -348,6 +348,7 @@ int Run(int argc, char** argv) {
 
   EmitFootruleKernel(&json);
   bench::EmitKernelSection(&json, args);
+  bench::EmitSimdSection(&json, args);
   EmitIndexBuild(&json, datasets);
   EmitQueryLatency(&json, args, datasets);
   EmitParallelScaling(&json, args, datasets);

@@ -23,16 +23,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/footrule.h"
 #include "core/rng.h"
+#include "core/statistics.h"
 #include "core/types.h"
+#include "invidx/blocked_inverted_index.h"
 #include "invidx/plain_inverted_index.h"
 #include "json_writer.h"
 #include "kernel/footrule_batch.h"
+#include "kernel/simd.h"
 
 namespace topk {
 namespace bench {
@@ -66,6 +71,25 @@ struct ValidateRow {
   const char* kernel;
   double ns_per_candidate;
 };
+
+/// Order-insensitive checksum of a result id multiset; the scalar and
+/// SIMD rows of one configuration must print the same value or the sweep
+/// itself is a failing differential.
+inline uint64_t ResultChecksum(uint64_t acc,
+                               const std::vector<RankingId>& ids) {
+  for (const RankingId id : ids) acc += MixId64(id);
+  return acc + MixId64(ids.size());
+}
+
+/// Checksums are emitted as hex strings: compare_benchmarks.py treats
+/// strings as row identity, so a checksum regression surfaces as a
+/// changed row instead of a meaningless numeric delta.
+inline std::string ChecksumHex(uint64_t checksum) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
 
 }  // namespace kernel_detail
 
@@ -225,6 +249,169 @@ inline void EmitKernelSection(JsonWriter* json, const BenchArgs& args) {
       json->EndObject();
     }
     std::cerr << "  kernel posting iteration done\n";
+  }
+
+  json->EndArray();
+}
+
+/// Emits the `simd` array: the scalar-vs-SIMD-vs-block-skip sweep (caller
+/// owns the surrounding object). Every row carries a result checksum; rows
+/// of one configuration must agree on it (the bench doubles as a coarse
+/// differential) and a mismatch is reported on stderr.
+inline void EmitSimdSection(JsonWriter* json, const BenchArgs& args) {
+  using kernel_detail::MeasureNsPerUnit;
+  using kernel_detail::ResultChecksum;
+  json->Key("simd");
+  json->BeginArray();
+
+  // --- validate: forced-scalar vs the compiled vector backend. ---
+  for (const uint32_t k : {5u, 10u, 25u}) {
+    const size_t n = 4096;
+    Rng rng(args.seed + 31 * k);
+    RankingStore store(k);
+    std::vector<ItemId> items;
+    for (size_t i = 0; i < n; ++i) {
+      items.clear();
+      while (items.size() < k) {
+        const auto item = static_cast<ItemId>(rng.Below(8 * k));
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          items.push_back(item);
+        }
+      }
+      store.AddUnchecked(items);
+    }
+    WorkloadOptions workload;
+    workload.num_queries = 16;
+    workload.perturbed_fraction = 0.7;
+    workload.seed = args.seed + 77;
+    const auto queries = MakeWorkload(store, workload);
+    const double theta = 0.3;
+    const RawDistance theta_raw = RawThreshold(theta, k);
+    std::vector<RankingId> all(store.size());
+    for (RankingId id = 0; id < store.size(); ++id) all[id] = id;
+
+    struct Backend {
+      const char* name;
+      bool use_simd;
+      double ns_per_candidate = 0;
+      uint64_t checksum = 0;
+    };
+    Backend backends[] = {
+        {"scalar", false},
+        {FootruleValidator::SimdBackendName(), true},
+    };
+    // Without a compiled vector backend the second row would re-measure
+    // the identical scalar code; measure (and emit) it only when it is a
+    // real variant.
+    const size_t rows = FootruleValidator::SimdCompiled() ? 2 : 1;
+    for (size_t b = 0; b < rows; ++b) {
+      Backend& backend = backends[b];
+      FootruleValidator validator;
+      validator.set_use_simd(backend.use_simd);
+      std::vector<RankingId> out;
+      uint64_t checksum = 0;
+      backend.ns_per_candidate = MeasureNsPerUnit([&] {
+        checksum = 0;
+        for (const PreparedQuery& query : queries) {
+          validator.BindQuery(query.view());
+          out.clear();
+          validator.ValidateSpan(store, all, theta_raw, &out, nullptr);
+          checksum = ResultChecksum(checksum, out);
+        }
+        return queries.size() * store.size();
+      });
+      backend.checksum = checksum;
+    }
+    if (rows == 2 && backends[0].checksum != backends[1].checksum) {
+      std::cerr << "CHECKSUM MISMATCH: simd validate k=" << k
+                << " scalar=" << backends[0].checksum
+                << " simd=" << backends[1].checksum << "\n";
+    }
+    for (size_t b = 0; b < rows; ++b) {
+      const Backend& backend = backends[b];
+      json->BeginObject();
+      json->Key("bench");
+      json->String("validate");
+      json->Key("kernel");
+      json->String("footrule_batched");
+      json->Key("backend");
+      json->String(backend.name);
+      json->Key("k");
+      json->Uint(k);
+      json->Key("theta");
+      json->Double(theta);
+      json->Key("ns_per_candidate");
+      json->Double(backend.ns_per_candidate);
+      json->Key("mcandidates_per_sec");
+      json->Double(1e3 / backend.ns_per_candidate);
+      json->Key("speedup_vs_scalar");
+      json->Double(backends[0].ns_per_candidate / backend.ns_per_candidate);
+      json->Key("checksum");
+      json->String(kernel_detail::ChecksumHex(backend.checksum));
+      json->EndObject();
+    }
+    std::cerr << "  simd validate k=" << k << " done ("
+              << FootruleValidator::SimdBackendName() << " "
+              << backends[0].ns_per_candidate /
+                     backends[rows - 1].ns_per_candidate
+              << "x)\n";
+  }
+
+  // --- block_skip: the windowed blocked engine's tightened sweep. ---
+  for (const uint32_t k : {10u, 25u}) {
+    const RankingStore store = MakeNyt(args, k);
+    const BlockedInvertedIndex index = BlockedInvertedIndex::Build(store);
+    BlockedEngine engine(&store, &index,
+                         BlockedOptions{DropMode::kNone,
+                                        /*scheduled=*/false});
+    WorkloadOptions workload;
+    workload.num_queries = 32;
+    workload.perturbed_fraction = 0.7;
+    workload.seed = args.seed + 78;
+    const auto queries = MakeWorkload(store, workload);
+    const double theta = 0.3;
+    const RawDistance theta_raw = RawThreshold(theta, k);
+
+    // One accounted pass for the scan/skip tickers and the checksum...
+    Statistics stats;
+    uint64_t checksum = 0;
+    for (const PreparedQuery& query : queries) {
+      checksum = ResultChecksum(checksum,
+                                engine.Query(query, theta_raw, &stats));
+    }
+    // ...then timed passes.
+    const double ns_per_query = MeasureNsPerUnit([&] {
+      uint64_t sink = 0;
+      for (const PreparedQuery& query : queries) {
+        sink += engine.Query(query, theta_raw, nullptr).size();
+      }
+      if (sink == UINT64_MAX) std::cerr << "unreachable\n";
+      return queries.size();
+    });
+
+    json->BeginObject();
+    json->Key("bench");
+    json->String("block_skip");
+    json->Key("mode");
+    json->String("windowed_sweep");
+    json->Key("k");
+    json->Uint(k);
+    json->Key("theta");
+    json->Double(theta);
+    json->Key("ns_per_query");
+    json->Double(ns_per_query);
+    json->Key("entries_scanned_per_query");
+    json->Double(static_cast<double>(
+                     stats.Get(Ticker::kPostingEntriesScanned)) /
+                 static_cast<double>(queries.size()));
+    json->Key("entries_skipped_per_query");
+    json->Double(static_cast<double>(
+                     stats.Get(Ticker::kPostingEntriesSkipped)) /
+                 static_cast<double>(queries.size()));
+    json->Key("checksum");
+    json->String(kernel_detail::ChecksumHex(checksum));
+    json->EndObject();
+    std::cerr << "  simd block_skip k=" << k << " done\n";
   }
 
   json->EndArray();

@@ -18,6 +18,15 @@ Options:
                       non-zero exit into a ::warning:: annotation instead
                       of failing the job, because CI-scale runs on shared
                       hardware are too noisy for a hard gate.
+  --fail-above=SECTION:PCT
+                      per-section override of the global threshold; may
+                      be repeated. SECTION matches a row's section path
+                      exactly or as a path prefix ("kernel" covers
+                      "kernel" and "kernel/..."), so micro-benchmark
+                      sections (kernel, simd) can run a tighter advisory
+                      gate than end-to-end wall times without touching
+                      the global value. An override with no global still
+                      gates only its sections.
 
 Rows are matched structurally: a row's identity is its section (the JSON
 path of the array that holds it) plus all string/bool fields and the
@@ -50,7 +59,8 @@ ID_FLOAT_FIELDS = {
 # their throughput duals ("_per_sec" covers mcalls/mcandidates/mentries)
 # must be here or the drift gate is blind to the kernel benches.
 TIMING_FIELDS = ("_ms", "ns_per_call", "ns_per_candidate", "ns_per_entry",
-                 "qps", "_per_sec", "wall_ms", "mean_ms_per_query")
+                 "ns_per_query", "qps", "_per_sec", "wall_ms",
+                 "mean_ms_per_query")
 
 
 def iter_rows(node, path=""):
@@ -97,15 +107,33 @@ def label(key):
     return " ".join(part for part in key[1:]) or "(row)"
 
 
+def section_threshold(section, fail_above, section_overrides):
+    """Most specific (longest) matching override, else the global value."""
+    best = None
+    for name, pct in section_overrides.items():
+        if section == name or section.startswith(name + "/"):
+            if best is None or len(name) > len(best[0]):
+                best = (name, pct)
+    if best is not None:
+        return best[1]
+    return fail_above
+
+
 def main(argv):
     print_above = 5.0
     fail_above = None
+    section_overrides = {}
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--print-above="):
             print_above = float(arg.split("=", 1)[1])
         elif arg.startswith("--fail-above="):
-            fail_above = float(arg.split("=", 1)[1])
+            value = arg.split("=", 1)[1]
+            if ":" in value:
+                section, pct = value.rsplit(":", 1)
+                section_overrides[section] = float(pct)
+            else:
+                fail_above = float(value)
         elif arg.startswith("--"):
             sys.exit(f"unknown option: {arg}")
         else:
@@ -154,8 +182,10 @@ def main(argv):
                             for t in TIMING_FIELDS)
             if is_timing and abs(delta) > worst[0]:
                 worst = (abs(delta), field, label(key))
-            if (fail_above is not None and is_timing
-                    and abs(delta) > fail_above):
+            threshold = section_threshold(section, fail_above,
+                                          section_overrides)
+            if (threshold is not None and is_timing
+                    and abs(delta) > threshold):
                 gate_exceeded.append((key, field, delta))
             if abs(delta) >= print_above:
                 if section != current_section:
@@ -179,8 +209,13 @@ def main(argv):
     print()
 
     if gate_exceeded:
-        print(f"FAIL: {len(gate_exceeded)} timing deltas exceed "
-              f"{fail_above:g}%")
+        for key, field, delta in gate_exceeded:
+            sec = key[0]
+            limit = section_threshold(sec, fail_above, section_overrides)
+            print(f"FAIL: {sec} {label(key)}: {field} moved {delta:+.1f}% "
+                  f"(threshold {limit:g}%)")
+        print(f"FAIL: {len(gate_exceeded)} timing deltas exceed their "
+              f"thresholds")
         return 1
     return 0
 

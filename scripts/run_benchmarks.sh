@@ -13,6 +13,16 @@
 #   OUT=my.json BUILD_DIR=build-rel scripts/run_benchmarks.sh --queries=500
 #   PARALLEL_OUT= scripts/run_benchmarks.sh   # skip the parallel study
 #   SERVING_OUT= scripts/run_benchmarks.sh    # skip the serving study
+#   MARCH=x86-64-v3 scripts/run_benchmarks.sh # compile the bench build for
+#                                             # that -march so the TOPK_SIMD
+#                                             # kernel paths dispatch to a
+#                                             # real vector ISA (the default
+#                                             # x86-64 target stops at SSE2 =
+#                                             # scalar). Sticky per BUILD_DIR:
+#                                             # the flag is cached by CMake,
+#                                             # so changing MARCH later means
+#                                             # passing it again (or wiping
+#                                             # the build dir).
 #
 # Extra arguments are forwarded to all binaries (see bench/bench_util.h
 # for the knobs); explicit --nyt-n=/--yago-n=/--queries= override the
@@ -58,7 +68,9 @@ done
 # -DTOPK_SANITIZE= clears any sanitizer cached in an existing build dir:
 # an instrumented binary would record 5-10x inflated latencies as the
 # baseline.
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE=
+MARCH=${MARCH:-}
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE= \
+  ${MARCH:+"-DCMAKE_CXX_FLAGS=-march=$MARCH"}
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_baseline bench_parallel bench_serving
 

@@ -76,8 +76,16 @@ void RankingStore::AppendRow(std::span<const ItemId> items) {
   items_.insert(items_.end(), items.begin(), items.end());
 
   // Build the item-sorted row: pack (item, rank) into one uint64 so a
-  // single sort produces both parallel arrays.
-  uint64_t packed[64];
+  // single sort produces both parallel arrays. Typical k (5..25) stays on
+  // the stack; larger rankings (the kernel differential suites go to
+  // k = 100) take the heap path instead of overrunning a fixed buffer.
+  uint64_t stack_packed[64];
+  std::vector<uint64_t> heap_packed;
+  uint64_t* packed = stack_packed;
+  if (k_ > 64) {
+    heap_packed.resize(k_);
+    packed = heap_packed.data();
+  }
   for (uint32_t p = 0; p < k_; ++p) {
     packed[p] = (static_cast<uint64_t>(items[p]) << 32) | p;
   }

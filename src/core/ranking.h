@@ -166,6 +166,11 @@ class RankingStore {
     TOPK_DCHECK(id < size_);
     return RankingView(&items_[static_cast<size_t>(id) * k_], k_);
   }
+
+  /// The whole position-order item matrix, row `id` at [id*k, (id+1)*k):
+  /// the vectorized validate kernel gathers candidate rows straight out
+  /// of it instead of staging per-row views.
+  std::span<const ItemId> flat_items() const { return items_; }
   SortedRankingView sorted(RankingId id) const {
     TOPK_DCHECK(id < size_);
     const size_t off = static_cast<size_t>(id) * k_;

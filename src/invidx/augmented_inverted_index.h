@@ -28,6 +28,9 @@ PostingArena<AugmentedEntry> BuildAugmentedArena(const RankingStore& store);
 
 class AugmentedInvertedIndex {
  public:
+  /// Lists are id-sorted: FilterPhase may take its sorted-merge fast path.
+  static constexpr bool kIdSortedLists = true;
+
   static AugmentedInvertedIndex Build(const RankingStore& store);
 
   /// Id-sorted posting list for `item` (empty if never indexed).

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/bounds.h"
-#include "core/footrule.h"
+#include "kernel/block_sweep.h"
 
 namespace topk {
 
@@ -41,6 +41,8 @@ BlockedEngine::BlockedEngine(const RankingStore* store,
                              BlockedOptions options)
     : store_(store), index_(index), options_(options) {
   accs_.resize(index_->num_indexed());
+  validator_.EnsureItemCapacity(
+      store->empty() ? 0 : static_cast<size_t>(store->max_item()) + 1);
 }
 
 std::vector<RankingId> BlockedEngine::Query(const PreparedQuery& query,
@@ -68,38 +70,59 @@ std::vector<RankingId> BlockedEngine::QueryWindowed(
                   stats);
 
   RawDistance processed_absent = 0;  // over processed (kept) lists
-  for (uint32_t t : positions) {
-    // Accessible window: blocks with partial distance |j - t| <= theta.
-    const Rank lo = theta_raw >= t ? 0 : t - static_cast<Rank>(theta_raw);
-    const Rank hi = std::min<RawDistance>(k - 1, t + theta_raw);
-    const auto window = index_->BlockRange(q[t], lo, hi);
-    const size_t skipped = index_->list_length(q[t]) - window.size();
-    AddTicker(stats, Ticker::kPostingEntriesSkipped, skipped);
-    AddTicker(stats, Ticker::kBlocksSkipped, (lo - 0) + (k - 1 - hi));
-
-    for (const AugmentedEntry& entry : window) {
-      AddTicker(stats, Ticker::kPostingEntriesScanned);
-      Accumulator& acc = accs_[entry.id];
-      if (acc.epoch != epoch_) {
-        acc = Accumulator{};
-        acc.epoch = epoch_;
-        touched_.push_back(entry.id);
-      } else if (acc.dead) {
-        continue;
+  for (size_t pi = 0; pi < positions.size(); ++pi) {
+    const uint32_t t = positions[pi];
+    if (processed_absent > theta_raw) {
+      // Discovery is impossible from here on: a candidate first appearing
+      // at this or any later kept list has already paid more than theta
+      // in query-side absences. Account the remaining lists as skipped
+      // and stop sweeping; survivors are validated exactly regardless.
+      for (size_t rest = pi; rest < positions.size(); ++rest) {
+        AddTicker(stats, Ticker::kPostingEntriesSkipped,
+                  index_->list_length(q[positions[rest]]));
+        AddTicker(stats, Ticker::kBlocksSkipped, k);
       }
-      const Rank r = entry.rank;
-      acc.seen_sum += r > t ? r - t : t - r;
-      acc.seen_q_cost += k - t;
-      // Threshold-sound lower bound: a kept processed list the candidate
-      // missed either proves absence (cost k - t') or hides the candidate
-      // in a skipped block (then its true distance already exceeds theta).
-      const RawDistance lower =
-          acc.seen_sum + processed_absent + (k - t) - acc.seen_q_cost;
-      if (lower > theta_raw) {
-        acc.dead = true;
-        AddTicker(stats, Ticker::kPrunedByLowerBound);
-      }
+      break;
     }
+    // Accessible window under the remaining discovery budget: blocks with
+    // |j - t| <= theta - processed_absent (DESIGN.md, "Block-skipping
+    // sweep", proves this tighter-than-theta window misses no result).
+    const RawDistance budget = theta_raw - processed_absent;
+    const BlockWindow window = AccessibleBlockWindow(t, k, budget);
+    const size_t scanned = BlockRangeSweep(
+        index_->list(q[t]), index_->block_offsets(q[t]), window,
+        [&](Rank j, std::span<const AugmentedEntry> block) {
+          const Rank delta = j > t ? j - t : t - j;  // hoisted per block
+          for (const AugmentedEntry& entry : block) {
+            Accumulator& acc = accs_[entry.id];
+            if (acc.epoch != epoch_) {
+              acc = Accumulator{};
+              acc.epoch = epoch_;
+              touched_.push_back(entry.id);
+            } else if (acc.dead) {
+              continue;
+            }
+            acc.seen_sum += delta;
+            acc.seen_q_cost += k - t;
+            // Threshold-sound lower bound: a kept processed list the
+            // candidate missed either proves absence (cost k - t') or
+            // hides the candidate in a skipped block — and any block
+            // skipped before a later list is scanned lies at
+            // |j' - t'| >= k - t', so the absence cost still lower-bounds
+            // the true contribution (DESIGN.md).
+            const RawDistance lower =
+                acc.seen_sum + processed_absent + (k - t) - acc.seen_q_cost;
+            if (lower > theta_raw) {
+              acc.dead = true;
+              AddTicker(stats, Ticker::kPrunedByLowerBound);
+            }
+          }
+        });
+    AddTicker(stats, Ticker::kPostingEntriesScanned, scanned);
+    AddTicker(stats, Ticker::kPostingEntriesSkipped,
+              index_->list_length(q[t]) - scanned);
+    AddTicker(stats, Ticker::kBlocksSkipped,
+              window.lo + (k - 1 - window.hi));
     processed_absent += k - t;
   }
   return ValidateSurvivors(query, theta_raw, stats);
@@ -136,22 +159,27 @@ std::vector<RankingId> BlockedEngine::QueryScheduled(
                                       : static_cast<int64_t>(t) + delta;
         if (j64 < 0 || j64 >= static_cast<int64_t>(k)) continue;
         const Rank j = static_cast<Rank>(j64);
-        for (const AugmentedEntry& entry : index_->Block(q[t], j)) {
-          AddTicker(stats, Ticker::kPostingEntriesScanned);
-          Accumulator& acc = accs_[entry.id];
-          if (acc.epoch != epoch_) {
-            acc = Accumulator{};
-            acc.epoch = epoch_;
-            touched_.push_back(entry.id);
-          } else if (acc.dead) {
-            continue;
-          }
-          acc.seen_sum += delta;
-          if (acc.seen_sum > theta_raw) {
-            acc.dead = true;
-            AddTicker(stats, Ticker::kPrunedByLowerBound);
-          }
-        }
+        const size_t scanned = BlockRangeSweep(
+            index_->list(q[t]), index_->block_offsets(q[t]),
+            BlockWindow{j, j},
+            [&](Rank, std::span<const AugmentedEntry> block) {
+              for (const AugmentedEntry& entry : block) {
+                Accumulator& acc = accs_[entry.id];
+                if (acc.epoch != epoch_) {
+                  acc = Accumulator{};
+                  acc.epoch = epoch_;
+                  touched_.push_back(entry.id);
+                } else if (acc.dead) {
+                  continue;
+                }
+                acc.seen_sum += delta;
+                if (acc.seen_sum > theta_raw) {
+                  acc.dead = true;
+                  AddTicker(stats, Ticker::kPrunedByLowerBound);
+                }
+              }
+            });
+        AddTicker(stats, Ticker::kPostingEntriesScanned, scanned);
       }
     }
   }
@@ -161,15 +189,17 @@ std::vector<RankingId> BlockedEngine::QueryScheduled(
 std::vector<RankingId> BlockedEngine::ValidateSurvivors(
     const PreparedQuery& query, RawDistance theta_raw, Statistics* stats) {
   AddTicker(stats, Ticker::kCandidates, touched_.size());
-  std::vector<RankingId> results;
-  const SortedRankingView qs = query.sorted_view();
+  survivors_.clear();
   for (RankingId id : touched_) {
-    if (accs_[id].dead) continue;
-    AddTicker(stats, Ticker::kDistanceCalls);
-    if (FootruleDistance(qs, store_->sorted(id)) <= theta_raw) {
-      results.push_back(id);
-    }
+    if (!accs_[id].dead) survivors_.push_back(id);
   }
+  // Exact distances through the batched (vector-capable) kernel; ticks
+  // kDistanceCalls once per survivor, exactly like the scalar loop this
+  // replaced.
+  std::vector<RankingId> results;
+  validator_.BindQuery(query.view(),
+                       static_cast<size_t>(store_->max_item()) + 1);
+  validator_.ValidateSpan(*store_, survivors_, theta_raw, &results, stats);
   std::sort(results.begin(), results.end());
   AddTicker(stats, Ticker::kResults, results.size());
   return results;

@@ -17,26 +17,39 @@
 #include "core/types.h"
 #include "invidx/augmented_inverted_index.h"
 #include "invidx/drop_policy.h"
+#include "kernel/footrule_batch.h"
 #include "kernel/posting_arena.h"
 
 namespace topk {
 
 class BlockedInvertedIndex {
  public:
+  /// Lists are rank-major, NOT id-sorted: FilterPhase must keep its
+  /// general dedup loop over them.
+  static constexpr bool kIdSortedLists = false;
+
   static BlockedInvertedIndex Build(const RankingStore& store);
+
+  /// The (k+1)-cursor block directory of `item`'s list (block j spans
+  /// list(item)[dir[j] .. dir[j+1])), or nullptr for items outside the
+  /// directory. This is what BlockRangeSweep (kernel/block_sweep.h) walks.
+  const uint32_t* block_offsets(ItemId item) const {
+    if (item >= arena_.num_lists()) return nullptr;
+    return &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+  }
 
   /// Entries of item's block at rank j (possibly empty).
   std::span<const AugmentedEntry> Block(ItemId item, Rank j) const {
-    if (item >= arena_.num_lists()) return {};
-    const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+    const uint32_t* off = block_offsets(item);
+    if (off == nullptr) return {};
     return arena_.list(item).subspan(off[j], off[j + 1] - off[j]);
   }
 
   /// Entries of item with rank in [lo, hi] (contiguous by construction).
   std::span<const AugmentedEntry> BlockRange(ItemId item, Rank lo,
                                              Rank hi) const {
-    if (item >= arena_.num_lists()) return {};
-    const uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+    const uint32_t* off = block_offsets(item);
+    if (off == nullptr) return {};
     return arena_.list(item).subspan(off[lo], off[hi + 1] - off[lo]);
   }
 
@@ -74,8 +87,18 @@ struct BlockedOptions {
 };
 
 /// Blocked+Prune / Blocked+Prune+Drop query processing. Surviving
-/// candidates are validated with an exact Footrule call: partial sums over
-/// an index with skipped blocks cannot prove membership, only rule it out.
+/// candidates are validated exactly through the batched kernel validator:
+/// partial sums over an index with skipped blocks cannot prove membership,
+/// only rule it out.
+///
+/// Windowed mode walks each kept list's block directory through
+/// BlockRangeSweep with a *discovery-tightened* window: a candidate first
+/// reaching the scan at kept list t has already paid (k - t') for every
+/// kept list t' processed before it (it appeared in none of them), so
+/// only blocks with |j - t| <= theta - processed_absent can still
+/// discover results — and once that budget goes negative the remaining
+/// lists are skipped outright. Threshold-sound with or without +Drop; the
+/// proof lives in DESIGN.md ("Block-skipping sweep").
 class BlockedEngine {
  public:
   BlockedEngine(const RankingStore* store, const BlockedInvertedIndex* index,
@@ -108,6 +131,8 @@ class BlockedEngine {
   BlockedOptions options_;
   std::vector<Accumulator> accs_;
   std::vector<RankingId> touched_;
+  std::vector<RankingId> survivors_;  // non-dead touched ids, per query
+  FootruleValidator validator_;
   uint32_t epoch_ = 0;
 };
 

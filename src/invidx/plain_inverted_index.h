@@ -23,6 +23,11 @@ namespace topk {
 
 class PlainInvertedIndex {
  public:
+  /// Posting lists are id-sorted (builds scan rankings in id order, and
+  /// BuildSubset emits ascending subset positions): FilterPhase may take
+  /// its sorted-merge fast path over them.
+  static constexpr bool kIdSortedLists = true;
+
   /// Indexes every ranking in `store`. Posting lists come out id-sorted
   /// because rankings are scanned in id order.
   static PlainInvertedIndex Build(const RankingStore& store);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "kernel/simd.h"
 
 namespace topk {
 
@@ -44,6 +45,13 @@ class VisitedSet {
     if (stamps_[id] == epoch_) return true;
     stamps_[id] = epoch_;
     return false;
+  }
+
+  /// Warms the cache line holding `id`'s stamp word ahead of a
+  /// TestAndSet — the filter phase's stamp probes are its only randomly
+  /// scattered accesses. Harmless for ids beyond capacity (no-op).
+  void Prefetch(uint32_t id) const {
+    if (id < stamps_.size()) PrefetchRead(stamps_.data() + id);
   }
 
   size_t capacity() const { return stamps_.size(); }

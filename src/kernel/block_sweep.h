@@ -1,0 +1,77 @@
+// Block-skipping sweep over one rank-blocked posting list.
+//
+// The blocked inverted index keeps each item's posting list rank-major
+// with a (k+1)-offset directory per item, so all entries where the item
+// appears at rank j form the contiguous block B_item@j. A threshold query
+// only cares about blocks whose rank-partial distance |j - t| fits the
+// remaining budget; BlockRangeSweep walks the directory across the
+// accessible range, skips empty blocks without ever touching the entry
+// arena, prefetches the next non-empty block's first line while the
+// current one is processed, and hands each non-empty block to the visitor
+// with its rank — so the per-entry |j - t| of the old windowed loop hoists
+// to one subtraction per block.
+//
+// Both BlockedEngine modes route their block access through this helper:
+// the windowed mode sweeps each list's accessible window in one call, the
+// scheduled mode sweeps the degenerate range [j, j] per scheduling round.
+
+#ifndef TOPK_KERNEL_BLOCK_SWEEP_H_
+#define TOPK_KERNEL_BLOCK_SWEEP_H_
+
+#include <algorithm>
+#include <span>
+
+#include "core/status.h"
+#include "core/types.h"
+#include "kernel/simd.h"
+
+namespace topk {
+
+/// Inclusive block-rank window [lo, hi]; empty (lo > hi) when the budget
+/// cannot reach any block.
+struct BlockWindow {
+  Rank lo;
+  Rank hi;
+  bool empty() const { return lo > hi; }
+};
+
+/// Blocks of list position t accessible under `budget`: |j - t| <= budget,
+/// clipped to the directory's [0, k-1].
+inline BlockWindow AccessibleBlockWindow(Rank t, uint32_t k,
+                                         RawDistance budget) {
+  TOPK_DCHECK(t < k);
+  return BlockWindow{
+      budget >= t ? 0 : t - static_cast<Rank>(budget),
+      static_cast<Rank>(std::min<RawDistance>(k - 1, t + budget))};
+}
+
+/// Visits every non-empty block of `list` with rank in [window.lo,
+/// window.hi] as visit(rank, entries), in ascending rank order, and
+/// returns the number of entries visited. `block_offsets` is the list's
+/// (k+1)-cursor directory (block j is list[block_offsets[j] ..
+/// block_offsets[j+1])); pass nullptr for an item outside the directory
+/// (nothing is visited).
+template <typename Entry, typename Visit>
+size_t BlockRangeSweep(std::span<const Entry> list,
+                       const uint32_t* block_offsets, BlockWindow window,
+                       Visit&& visit) {
+  if (block_offsets == nullptr || window.empty()) return 0;
+  size_t visited = 0;
+  for (Rank j = window.lo; j <= window.hi; ++j) {
+    const uint32_t begin = block_offsets[j];
+    const uint32_t end = block_offsets[j + 1];
+    if (begin == end) continue;  // skip without touching the arena
+    if (j < window.hi) {
+      // The next block starts right where this one ends (CSR layout):
+      // warm its first line while this block is processed.
+      PrefetchRead(list.data() + end);
+    }
+    visit(j, list.subspan(begin, end - begin));
+    visited += end - begin;
+  }
+  return visited;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_KERNEL_BLOCK_SWEEP_H_

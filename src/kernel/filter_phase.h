@@ -21,11 +21,26 @@
 //
 // The helper is generic over the index: anything with list(item) /
 // list_length(item) works, with PostingEntryId() extracting the ranking id
-// from plain (RankingId) and augmented (AugmentedEntry) entries alike.
+// from plain (RankingId) and augmented (AugmentedEntry) entries alike. All
+// indexes in the library share one structural guarantee the fast paths
+// lean on: a posting list never repeats a ranking id (a ranking contains
+// an item at most once).
+//
+// v2 sweep structure, in order of specificity:
+//  * one surviving list: its ids ARE the union — copy, no visited set;
+//  * two surviving lists of an id-sorted index (Index::kIdSortedLists):
+//    emit the first list, then the second minus the first via a galloping
+//    sorted merge — no epoch bump, no scattered stamp writes;
+//  * general case: the epoch-stamped VisitedSet loop, with the next
+//    posting list's arena lines and the upcoming entries' stamp words
+//    software-prefetched ahead of use (the stamp probes are the one
+//    genuinely random access pattern of the loop).
+// All three produce byte-identical candidate sequences and tickers.
 
 #ifndef TOPK_KERNEL_FILTER_PHASE_H_
 #define TOPK_KERNEL_FILTER_PHASE_H_
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -34,6 +49,7 @@
 #include "core/types.h"
 #include "invidx/drop_policy.h"
 #include "invidx/visited_set.h"
+#include "kernel/simd.h"
 
 namespace topk {
 
@@ -51,6 +67,69 @@ RankingId PostingEntryId(const Entry& entry) {
   return entry.id;
 }
 
+/// Whether the index declares id-sorted posting lists (plain and
+/// augmented do; the blocked index's lists are rank-major and must not
+/// take the sorted-merge fast path).
+template <typename Index>
+constexpr bool IndexHasIdSortedLists() {
+  if constexpr (requires { Index::kIdSortedLists; }) {
+    return Index::kIdSortedLists;
+  } else {
+    return false;
+  }
+}
+
+namespace filter_detail {
+
+/// How many entries ahead the general loop warms the VisitedSet stamp of.
+/// Far enough to cover the dedup probe's cache-miss latency, near enough
+/// that the line is still resident when the probe arrives.
+inline constexpr size_t kStampPrefetchDistance = 16;
+
+/// First index >= `from` whose entry id is >= `target` (exponential
+/// search then binary search; the two-list merge advances monotonically,
+/// so galloping from the previous cursor is O(log gap) per step).
+template <typename List>
+size_t GallopLowerBound(const List& list, size_t from, RankingId target) {
+  size_t lo = from;
+  size_t bound = 1;
+  while (from + bound < list.size() &&
+         PostingEntryId(list[from + bound]) < target) {
+    lo = from + bound + 1;
+    bound <<= 1;
+  }
+  size_t hi = std::min(from + bound, list.size());
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (PostingEntryId(list[mid]) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Union of exactly two id-sorted duplicate-free lists in first-encounter
+/// order: all of `first`, then `second` minus `first`.
+template <typename List>
+void TwoListUnion(const List& first, const List& second,
+                  std::vector<RankingId>* out) {
+  for (const auto& entry : first) out->push_back(PostingEntryId(entry));
+  size_t cursor = 0;
+  for (const auto& entry : second) {
+    const RankingId id = PostingEntryId(entry);
+    cursor = GallopLowerBound(first, cursor, id);
+    if (cursor < first.size() && PostingEntryId(first[cursor]) == id) {
+      ++cursor;  // present in `first`: already emitted
+      continue;
+    }
+    out->push_back(id);
+  }
+}
+
+}  // namespace filter_detail
+
 /// Unions the accessible posting lists of `query` into
 /// `scratch->candidates` (first-encounter order) and returns a view of
 /// them. `id_capacity` bounds the ids the lists may contain (the store
@@ -61,17 +140,46 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
                                        size_t id_capacity,
                                        FilterScratch* scratch,
                                        Statistics* stats = nullptr) {
-  scratch->visited.EnsureCapacity(id_capacity);
-  scratch->visited.NextEpoch();
   scratch->candidates.clear();
   const std::vector<uint32_t> positions = SelectLists(
       query, theta_raw, drop,
       [&index](ItemId item) { return index.list_length(item); }, stats);
-  for (uint32_t pos : positions) {
-    const auto list = index.list(query[pos]);
+
+  if (positions.size() == 1) {
+    const auto list = index.list(query[positions[0]]);
     AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
     for (const auto& entry : list) {
-      const RankingId id = PostingEntryId(entry);
+      scratch->candidates.push_back(PostingEntryId(entry));
+    }
+    return scratch->candidates;
+  }
+  if constexpr (IndexHasIdSortedLists<Index>()) {
+    if (positions.size() == 2) {
+      const auto first = index.list(query[positions[0]]);
+      const auto second = index.list(query[positions[1]]);
+      AddTicker(stats, Ticker::kPostingEntriesScanned,
+                first.size() + second.size());
+      filter_detail::TwoListUnion(first, second, &scratch->candidates);
+      return scratch->candidates;
+    }
+  }
+
+  scratch->visited.EnsureCapacity(id_capacity);
+  scratch->visited.NextEpoch();
+  for (size_t li = 0; li < positions.size(); ++li) {
+    const auto list = index.list(query[positions[li]]);
+    if (li + 1 < positions.size()) {
+      // Warm the next list's head while this one is scanned; its arena
+      // span is contiguous, so one line covers the first entries.
+      PrefetchRead(index.list(query[positions[li + 1]]).data());
+    }
+    AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i + filter_detail::kStampPrefetchDistance < list.size()) {
+        scratch->visited.Prefetch(PostingEntryId(
+            list[i + filter_detail::kStampPrefetchDistance]));
+      }
+      const RankingId id = PostingEntryId(list[i]);
       if (!scratch->visited.TestAndSet(id)) {
         scratch->candidates.push_back(id);
       }
