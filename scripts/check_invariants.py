@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Repo invariant linter: contracts clang-tidy and -Wthread-safety can't see.
+
+Checks (each is a named rule; any violation exits non-zero):
+
+  epoch-zero      Epoch 0 is reserved ("never published"): every epoch
+                  stamp defaults to 0 so a live generation may never BE 0,
+                  or stale slots would read as current. Concretely: each
+                  `++epoch_` bump must be followed by the wrap guard that
+                  restarts at 1 within a few lines, and `epoch_ = 0` may
+                  appear only as a declaration initializer.
+  raw-std-sync    std::mutex / lock_guard / unique_lock / scoped_lock /
+                  condition_variable are banned outside src/core/mutex.h —
+                  raw std locking is invisible to the Clang thread-safety
+                  analysis, so it silently re-opens the holes the
+                  annotations close. Use topk::Mutex / MutexLock / CondVar.
+  naked-alloc     No naked `new` / malloc-family calls: every container in
+                  the tree owns through std containers or the posting
+                  arenas (kernel/filter_validate CSR arena). A raw
+                  allocation is either a leak risk or an arena bypass.
+  bench-schema    Checked-in BENCH_*.json baselines carry the sections
+                  scripts/compare_benchmarks.py gates on; a section
+                  silently dropped from a baseline would turn the CI
+                  regression gate into a no-op.
+  kernel-layering src/kernel/*.h may include only core/*, kernel/*, and
+                  the two leaf invidx headers (drop_policy.h,
+                  visited_set.h). Kernels are the bottom layer; an engine
+                  include would invert the dependency stack.
+
+Run from anywhere: paths resolve relative to the repo root (parent of this
+script's directory). `--self-test` feeds each rule a synthetic violation
+and fails if any rule does not fire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+# epoch-zero ----------------------------------------------------------------
+
+# A bump must reach its `epoch_ = 1` wrap reset within this many lines.
+EPOCH_WRAP_WINDOW = 5
+EPOCH_BUMP_RE = re.compile(r"\+\+\s*epoch_|epoch_\s*\+\+|epoch_\s*\+=\s*1")
+EPOCH_RESET_RE = re.compile(r"epoch_\s*=\s*1\b")
+EPOCH_ZERO_ASSIGN_RE = re.compile(r"\bepoch_\s*=\s*0\b")
+# `uint32_t epoch_ = 0;` (a declaration initializer) is the one legal spelling.
+EPOCH_ZERO_DECL_RE = re.compile(
+    r"\b(?:uint\d+_t|size_t|int|long|unsigned)\s+epoch_\s*=\s*0\b")
+
+# raw-std-sync --------------------------------------------------------------
+
+STD_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+STD_SYNC_ALLOWED = {"src/core/mutex.h"}
+
+# naked-alloc ---------------------------------------------------------------
+
+ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()"  # `new T`, `new T[n]` — placement new is also banned
+    r"|\bnew\s*\("       # ...spelled separately so both report
+    r"|\b(?:malloc|calloc|realloc|free)\s*\(")
+ALLOC_ALLOWED: set[str] = set()  # arenas use std::vector storage today
+
+# bench-schema --------------------------------------------------------------
+
+BENCH_REQUIRED_SECTIONS = {
+    "BENCH_baseline.json": [
+        "schema_version", "meta", "footrule_kernel", "kernel", "simd",
+        "index_build", "query_latency", "parallel_scaling",
+    ],
+    "BENCH_parallel.json": ["schema_version", "hardware_concurrency", "rows"],
+    "BENCH_serving.json": ["schema_version", "hardware_concurrency", "rows"],
+}
+
+# kernel-layering -----------------------------------------------------------
+
+LOCAL_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+KERNEL_ALLOWED_INCLUDE_PREFIXES = ("core/", "kernel/")
+KERNEL_ALLOWED_INCLUDE_EXACT = {
+    "invidx/drop_policy.h",  # leaf enum, no engine deps
+    "invidx/visited_set.h",  # leaf epoch-stamped bitset, no engine deps
+}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks string/char literals and drops a trailing // comment.
+
+    Line-local (block comments spanning lines are not handled); good
+    enough for this tree, which clang-format keeps free of mid-line /*.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Failure:
+    def __init__(self, rule: str, where: str, message: str):
+        self.rule, self.where, self.message = rule, where, message
+
+    def __str__(self) -> str:
+        return f"{self.where}: [{self.rule}] {self.message}"
+
+
+def source_files() -> list[Path]:
+    return sorted(p for p in SRC.rglob("*") if p.suffix in (".h", ".cc"))
+
+
+def check_epoch_zero(path: Path, lines: list[str]) -> list[Failure]:
+    failures = []
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if EPOCH_BUMP_RE.search(line):
+            window = [strip_comments_and_strings(l)
+                      for l in lines[i:i + 1 + EPOCH_WRAP_WINDOW]]
+            if not any(EPOCH_RESET_RE.search(l) for l in window):
+                failures.append(Failure(
+                    "epoch-zero", f"{rel}:{i + 1}",
+                    "epoch bump without the wrap guard restarting at 1 "
+                    f"within {EPOCH_WRAP_WINDOW} lines — a wrapped counter "
+                    "would publish the reserved epoch 0"))
+        if EPOCH_ZERO_ASSIGN_RE.search(line) and not EPOCH_ZERO_DECL_RE.search(line):
+            failures.append(Failure(
+                "epoch-zero", f"{rel}:{i + 1}",
+                "`epoch_ = 0` outside a declaration initializer publishes "
+                "the reserved epoch"))
+    return failures
+
+
+def check_raw_std_sync(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if rel in STD_SYNC_ALLOWED:
+        return []
+    failures = []
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        match = STD_SYNC_RE.search(line)
+        if match:
+            failures.append(Failure(
+                "raw-std-sync", f"{rel}:{i + 1}",
+                f"{match.group(0)} is invisible to -Wthread-safety; use the "
+                "annotated wrappers in core/mutex.h"))
+    return failures
+
+
+def check_naked_alloc(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if rel in ALLOC_ALLOWED:
+        return []
+    failures = []
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        match = ALLOC_RE.search(line)
+        if match:
+            failures.append(Failure(
+                "naked-alloc", f"{rel}:{i + 1}",
+                f"naked allocation ({match.group(0).strip()}) — own through "
+                "std containers or the posting arenas"))
+    return failures
+
+
+def check_bench_schema() -> list[Failure]:
+    failures = []
+    for name, required in BENCH_REQUIRED_SECTIONS.items():
+        path = REPO_ROOT / name
+        if not path.exists():
+            failures.append(Failure(
+                "bench-schema", name, "baseline file missing"))
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(Failure("bench-schema", name, f"unreadable: {err}"))
+            continue
+        for section in required:
+            if section not in data:
+                failures.append(Failure(
+                    "bench-schema", name,
+                    f"missing section '{section}' — compare_benchmarks.py "
+                    "would silently stop gating it"))
+    return failures
+
+
+def check_kernel_layering(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if not rel.startswith("src/kernel/") or path.suffix != ".h":
+        return []
+    failures = []
+    for i, raw in enumerate(lines):
+        match = LOCAL_INCLUDE_RE.match(raw)
+        if not match:
+            continue
+        include = match.group(1)
+        if include.startswith(KERNEL_ALLOWED_INCLUDE_PREFIXES):
+            continue
+        if include in KERNEL_ALLOWED_INCLUDE_EXACT:
+            continue
+        failures.append(Failure(
+            "kernel-layering", f"{rel}:{i + 1}",
+            f'kernel header includes "{include}" — kernels are the bottom '
+            "layer and may depend only on core/, kernel/, and the leaf "
+            "invidx headers"))
+    return failures
+
+
+def run_checks() -> list[Failure]:
+    failures: list[Failure] = []
+    for path in source_files():
+        lines = path.read_text().splitlines()
+        failures += check_epoch_zero(path, lines)
+        failures += check_raw_std_sync(path, lines)
+        failures += check_naked_alloc(path, lines)
+        failures += check_kernel_layering(path, lines)
+    failures += check_bench_schema()
+    return failures
+
+
+# --self-test ---------------------------------------------------------------
+
+def self_test() -> int:
+    """Feeds each rule a synthetic violation; fails if any rule is asleep."""
+    fake = SRC / "kernel" / "fake.h"  # path only; never written to disk
+    cases = [
+        ("epoch-zero bump without reset",
+         lambda: check_epoch_zero(fake, ["++epoch_;", "touched_.clear();"])),
+        ("epoch-zero published zero",
+         lambda: check_epoch_zero(fake, ["epoch_ = 0;"])),
+        ("raw-std-sync",
+         lambda: check_raw_std_sync(fake, ["std::mutex mu;"])),
+        ("naked-alloc new",
+         lambda: check_naked_alloc(fake, ["auto* p = new Node();"])),
+        ("naked-alloc malloc",
+         lambda: check_naked_alloc(fake, ["void* p = malloc(64);"])),
+        ("kernel-layering",
+         lambda: check_kernel_layering(fake, ['#include "serve/frontend.h"'])),
+    ]
+    negatives = [
+        ("epoch-zero legal wrap", lambda: check_epoch_zero(fake, [
+            "++epoch_;", "if (epoch_ == 0) {",
+            "  std::fill(s.begin(), s.end(), 0);", "  epoch_ = 1;", "}"])),
+        ("epoch-zero declaration",
+         lambda: check_epoch_zero(fake, ["uint32_t epoch_ = 0;"])),
+        ("raw-std-sync comment only",
+         lambda: check_raw_std_sync(fake, ["// std::mutex is banned here"])),
+        ("naked-alloc 'renew' identifier",
+         lambda: check_naked_alloc(fake, ["renewed = true; news_count++;"])),
+        ("kernel-layering core include",
+         lambda: check_kernel_layering(fake, ['#include "core/types.h"'])),
+    ]
+    ok = True
+    for name, check in cases:
+        if not check():
+            print(f"self-test FAILED: rule did not fire for: {name}")
+            ok = False
+    for name, check in negatives:
+        hits = check()
+        if hits:
+            print(f"self-test FAILED: false positive for: {name}: {hits[0]}")
+            ok = False
+    print("self-test " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on a synthetic violation")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    failures = run_checks()
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"\ncheck_invariants: {len(failures)} violation(s)")
+        return 1
+    print("check_invariants: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

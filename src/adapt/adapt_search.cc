@@ -65,6 +65,12 @@ std::vector<RankingId> AdaptSearchEngine::Query(const PreparedQuery& query,
                                                 RawDistance theta_raw,
                                                 Statistics* stats) {
   const uint32_t k = query.k();
+  // The index may have grown (live inserts) since this engine was built;
+  // fresh counter slots start at epoch 0, which is never current, so they
+  // read as unvisited under any live epoch.
+  if (counters_.size() < index_->num_indexed()) {
+    counters_.resize(index_->num_indexed());
+  }
   ++epoch_;
   if (epoch_ == 0) {
     for (auto& counter : counters_) counter.epoch = 0;

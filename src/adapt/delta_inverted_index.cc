@@ -60,6 +60,54 @@ DeltaInvertedIndex DeltaInvertedIndex::Build(const RankingStore& store) {
   return index;
 }
 
+void DeltaInvertedIndex::EnsureItemsLocked(ItemId max_item) {
+  const size_t needed = static_cast<size_t>(max_item) + 1;
+  if (needed <= order_.size()) return;
+  // Newly covered items extend the frozen order: positions continue past
+  // every already-assigned one (in id order within the new range), so no
+  // existing record's sorted positions are disturbed and OrderOf's
+  // beyond-capacity fallback (order_.size() + item) still sorts strictly
+  // after everything assigned here.
+  size_t next_position = order_.size();
+  order_.resize(needed);
+  for (size_t item = next_position; item < needed; ++item) {
+    order_[item] = next_position++;
+  }
+  lists_.resize(needed);
+  offsets_.resize(needed * (k_ + 1), 0);  // new items: every block empty
+}
+
+void DeltaInvertedIndex::Insert(RankingId id, RankingView record) {
+  MutexLock lock(&mutex_);
+  TOPK_DCHECK(static_cast<size_t>(id) == num_indexed_ &&
+              "ranking ids are dense: insert in id order");
+  if (k_ == 0 && num_indexed_ == 0) {  // first record of an empty index
+    k_ = static_cast<uint32_t>(record.items().size());
+    offsets_.assign(order_.size() * (k_ + 1), 0);
+  }
+  TOPK_DCHECK(record.items().size() == k_);
+
+  ItemId max_item = 0;
+  for (const ItemId item : record.items()) max_item = std::max(max_item, item);
+  EnsureItemsLocked(max_item);
+
+  std::vector<ItemId> sorted(record.items().begin(), record.items().end());
+  std::sort(sorted.begin(), sorted.end(), [this](ItemId a, ItemId b) {
+    return order_[a] < order_[b];
+  });
+  for (uint32_t pos = 0; pos < sorted.size(); ++pos) {
+    const ItemId item = sorted[pos];
+    auto& list = lists_[item];
+    uint32_t* off = &offsets_[static_cast<size_t>(item) * (k_ + 1)];
+    // The new entry lands at the end of its rank-`pos` block: `id` is the
+    // largest id yet, so ids stay ascending within the block (matching
+    // Build's stable sort), and every later block shifts right by one.
+    list.insert(list.begin() + off[pos + 1], AugmentedEntry{id, pos});
+    for (uint32_t r = pos + 1; r <= k_; ++r) ++off[r];
+  }
+  ++num_indexed_;
+}
+
 std::vector<ItemId> DeltaInvertedIndex::SortByGlobalOrder(
     RankingView query) const {
   std::vector<ItemId> sorted(query.items().begin(), query.items().end());

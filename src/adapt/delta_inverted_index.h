@@ -8,14 +8,34 @@
 // the index lists for prefix length p are exactly the first offsets[p]
 // entries of each list — extending a prefix from length p to p+1 touches
 // only the "delta" block, which is what gives the index its name.
+//
+// Live mutability (the ROADMAP write-path hook): Insert() appends one
+// record without a rebuild. The global item order is frozen incrementally
+// — items unseen so far are assigned the next order positions as they
+// arrive, extending (never permuting) the existing order — so every
+// previously indexed record's sorted positions stay valid and the prefix-
+// filter lemma keeps holding across inserts. An incrementally grown index
+// therefore answers queries bit-identically to a freshly built one (the
+// frequency-optimized Build order differs, which moves scan cost, never
+// results); tests/adapt_delta_test.cc holds that differential.
+//
+// Locking: mutex_ serializes writers (concurrent Insert calls are safe).
+// Readers are lock-free and run in the query phase only — Insert must not
+// overlap queries; that reader/writer phase exclusion is the documented
+// epoch contract in DESIGN.md ("Locking order & epoch contracts") and the
+// thing the future fork-GC-style write path will replace with generation
+// swaps.
 
 #ifndef TOPK_ADAPT_DELTA_INVERTED_INDEX_H_
 #define TOPK_ADAPT_DELTA_INVERTED_INDEX_H_
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/ranking.h"
+#include "core/thread_annotations.h"
 #include "core/types.h"
 #include "invidx/augmented_inverted_index.h"
 
@@ -23,7 +43,38 @@ namespace topk {
 
 class DeltaInvertedIndex {
  public:
+  DeltaInvertedIndex() = default;
+
+  // Movable so Build can return by value and EngineSuite can cache one
+  // in an optional; the mutex is not state, so the moved-to object just
+  // gets a fresh one. Moving is a build/handover-phase operation — never
+  // legal concurrently with Insert or queries.
+  DeltaInvertedIndex(DeltaInvertedIndex&& other) noexcept
+      : k_(other.k_),
+        num_indexed_(other.num_indexed_),
+        order_(std::move(other.order_)),
+        lists_(std::move(other.lists_)),
+        offsets_(std::move(other.offsets_)) {}
+  DeltaInvertedIndex& operator=(DeltaInvertedIndex&& other) noexcept {
+    k_ = other.k_;
+    num_indexed_ = other.num_indexed_;
+    order_ = std::move(other.order_);
+    lists_ = std::move(other.lists_);
+    offsets_ = std::move(other.offsets_);
+    return *this;
+  }
+  DeltaInvertedIndex(const DeltaInvertedIndex&) = delete;
+  DeltaInvertedIndex& operator=(const DeltaInvertedIndex&) = delete;
+
   static DeltaInvertedIndex Build(const RankingStore& store);
+
+  /// Appends one record to the index (the live-mutability hook). `id`
+  /// must be the next dense ranking id, i.e. num_indexed(); `record` is
+  /// its item list (size k, or defines k for the first record of an
+  /// empty index). Items never seen before extend the frozen global
+  /// order in first-seen order. Thread-safe against concurrent Insert;
+  /// must not overlap the query phase (see the header comment).
+  void Insert(RankingId id, RankingView record) TOPK_EXCLUDES(mutex_);
 
   /// Entries whose record holds `item` within its first `prefix_len`
   /// sorted positions (the ".rank" field is the sorted position).
@@ -55,6 +106,15 @@ class DeltaInvertedIndex {
   size_t MemoryUsage() const;
 
  private:
+  /// Grows order_/lists_/offsets_ to cover items up to `max_item`,
+  /// assigning fresh order positions to newly seen items.
+  void EnsureItemsLocked(ItemId max_item) TOPK_REQUIRES(mutex_);
+
+  // Serializes writers (Insert). Readers are phase-excluded, not locked
+  // — see the header comment — so the data members below carry no
+  // GUARDED_BY: annotating them would force every lock-free query-path
+  // read to claim a capability it deliberately does not hold.
+  Mutex mutex_;
   uint32_t k_ = 0;
   size_t num_indexed_ = 0;
   std::vector<uint64_t> order_;

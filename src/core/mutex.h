@@ -1,0 +1,90 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// The only sanctioned locking primitives in this tree. They wrap the std
+// types 1:1 (zero-cost on the lock/unlock path) and carry the Clang
+// thread-safety capability attributes from core/thread_annotations.h, so
+// on the CI thread-safety leg (clang++ -Wthread-safety -Werror) the
+// compiler proves that every TOPK_GUARDED_BY member is only touched under
+// its mutex. std::mutex et al. are banned outside this header —
+// scripts/check_invariants.py enforces that — because a raw std lock is
+// invisible to the analysis and silently re-opens the hole the
+// annotations close.
+//
+// Lock hierarchy and the per-subsystem contracts the annotations encode
+// are recorded in DESIGN.md ("Locking order & epoch contracts").
+
+#ifndef TOPK_CORE_MUTEX_H_
+#define TOPK_CORE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+namespace topk {
+
+/// std::mutex with capability annotations. Also satisfies the standard
+/// BasicLockable concept (lower-case lock/unlock), which is what lets
+/// CondVar park on it directly via std::condition_variable_any.
+class TOPK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TOPK_ACQUIRE() { mu_.lock(); }
+  void Unlock() TOPK_RELEASE() { mu_.unlock(); }
+  bool TryLock() TOPK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling (std naming) for std:: wait machinery.
+  void lock() TOPK_ACQUIRE() { mu_.lock(); }
+  void unlock() TOPK_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the std::lock_guard replacement). Taking the
+/// mutex by pointer keeps call sites greppable and rules out the classic
+/// `MutexLock(mu)` temporary-that-immediately-unlocks typo.
+class TOPK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TOPK_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() TOPK_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Wait() must be called
+/// with the mutex held (and, as always, inside a `while (!predicate)`
+/// loop — the annotated API deliberately has no predicate overload, so
+/// the guarded predicate reads sit in the caller where the analysis can
+/// see the capability).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning (so the caller's capability is unbroken around the call,
+  /// which is exactly what REQUIRES expresses).
+  void Wait(Mutex& mu) TOPK_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any works with any BasicLockable, i.e. with the
+  // annotated Mutex itself — no escape to a raw std::mutex handle that
+  // the analysis would lose track of.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_MUTEX_H_

@@ -1,0 +1,98 @@
+// Clang thread-safety annotation macros (no-ops on GCC/MSVC).
+//
+// These wrap Clang's `-Wthread-safety` capability analysis so the repo's
+// locking discipline is compiler-enforced instead of comment-enforced: a
+// member declared TOPK_GUARDED_BY(mu) can only be touched while `mu` is
+// held, and a function declared TOPK_REQUIRES(mu) can only be called from
+// a context that holds it — anything else is a hard build error on the CI
+// thread-safety leg (clang++ with -Wthread-safety -Werror; see the
+// "Static analysis" section of the README).
+//
+// The macro set mirrors the canonical mutex.h from the Clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+// TOPK_ to stay collision-free. GCC (the default local toolchain) does
+// not implement the attributes, so everything expands to nothing there —
+// annotated code must build identically under both compilers.
+//
+// Use the wrappers in core/mutex.h (Mutex / MutexLock / CondVar) rather
+// than std::mutex directly: the std types carry no capability attributes,
+// so locking through them is invisible to the analysis.
+// scripts/check_invariants.py enforces that rule tree-wide.
+
+#ifndef TOPK_CORE_THREAD_ANNOTATIONS_H_
+#define TOPK_CORE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define TOPK_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TOPK_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (lockable). The string argument is
+/// the capability kind used in diagnostics ("mutex").
+#define TOPK_CAPABILITY(x) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define TOPK_SCOPED_CAPABILITY \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated member may only be accessed while `x` is held.
+#define TOPK_GUARDED_BY(x) TOPK_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer member may only be
+/// accessed while `x` is held (the pointer itself is unguarded).
+#define TOPK_PT_GUARDED_BY(x) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention): this capability must
+/// be acquired before/after the listed ones.
+#define TOPK_ACQUIRED_BEFORE(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define TOPK_ACQUIRED_AFTER(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The annotated function may only be called while holding the listed
+/// capabilities exclusively (resp. at least shared).
+#define TOPK_REQUIRES(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define TOPK_REQUIRES_SHARED(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires (resp. releases) the listed
+/// capabilities; with no argument, the enclosing object itself.
+#define TOPK_ACQUIRE(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define TOPK_ACQUIRE_SHARED(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define TOPK_RELEASE(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define TOPK_RELEASE_SHARED(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the
+/// given value (TryLock).
+#define TOPK_TRY_ACQUIRE(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called while holding the listed
+/// capabilities (non-reentrancy / deadlock documentation).
+#define TOPK_EXCLUDES(...) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis to
+/// assume it from here on).
+#define TOPK_ASSERT_CAPABILITY(x) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define TOPK_RETURN_CAPABILITY(x) \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the annotated function body is not analyzed. Every use
+/// must carry a comment justifying why the contract holds anyway.
+#define TOPK_NO_THREAD_SAFETY_ANALYSIS \
+  TOPK_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // TOPK_CORE_THREAD_ANNOTATIONS_H_

@@ -25,6 +25,11 @@ ParallelRunner::ParallelRunner(const ShardedStore* store,
 }
 
 void ParallelRunner::Prepare(Algorithm algorithm) {
+  MutexLock lock(&mutex_);
+  PrepareLocked(algorithm);
+}
+
+void ParallelRunner::PrepareLocked(Algorithm algorithm) {
   TOPK_DCHECK(algorithm != Algorithm::kMinimalFV &&
               "kMinimalFV is workload-bound: use PrepareOracle");
   if (shards_[0]->engines.contains(algorithm)) return;  // already prepared
@@ -38,6 +43,12 @@ void ParallelRunner::Prepare(Algorithm algorithm) {
 
 void ParallelRunner::PrepareOracle(std::span<const PreparedQuery> queries,
                                    RawDistance theta_raw) {
+  MutexLock lock(&mutex_);
+  PrepareOracleLocked(queries, theta_raw);
+}
+
+void ParallelRunner::PrepareOracleLocked(std::span<const PreparedQuery> queries,
+                                         RawDistance theta_raw) {
   pool_.ParallelFor(shards_.size(), [&](size_t s) {
     shards_[s]->oracle = shards_[s]->suite.MakeOracleEngine(queries, theta_raw);
   });
@@ -68,7 +79,8 @@ void ParallelRunner::FanOut(Algorithm algorithm, size_t query_index,
 std::vector<RankingId> ParallelRunner::RangeQuery(
     Algorithm algorithm, size_t query_index, const PreparedQuery& query,
     RawDistance theta_raw, Statistics* stats, PhaseTimes* phases) {
-  if (algorithm != Algorithm::kMinimalFV) Prepare(algorithm);
+  MutexLock lock(&mutex_);
+  if (algorithm != Algorithm::kMinimalFV) PrepareLocked(algorithm);
   for (size_t s = 0; s < shards_.size(); ++s) {
     scratch_stats_[s].Reset();
     scratch_phases_[s] = PhaseTimes{};
@@ -91,13 +103,17 @@ std::vector<RankingId> ParallelRunner::RangeQuery(
 std::vector<Neighbor> ParallelRunner::KnnQuery(Algorithm algorithm,
                                                const PreparedQuery& query,
                                                size_t j, Statistics* stats) {
+  MutexLock lock(&mutex_);
   TOPK_DCHECK(algorithm == Algorithm::kLinearScan ||
               algorithm == Algorithm::kBkTree || algorithm == Algorithm::kMTree);
-  if (algorithm != Algorithm::kLinearScan) Prepare(algorithm);
+  if (algorithm != Algorithm::kLinearScan) PrepareLocked(algorithm);
   std::vector<std::vector<Neighbor>> per_shard(shards_.size());
   for (Statistics& shard_stats : scratch_stats_) shard_stats.Reset();
-  pool_.ParallelFor(shards_.size(), [&](size_t s) {
-    Statistics* shard_stats = stats != nullptr ? &scratch_stats_[s] : nullptr;
+  // Shard tasks reach their stats slot through this pointer (slot s is
+  // task s's alone for the fan-out), not through the guarded member.
+  Statistics* const stats_slots = scratch_stats_.data();
+  pool_.ParallelFor(shards_.size(), [&, stats_slots](size_t s) {
+    Statistics* shard_stats = stats != nullptr ? &stats_slots[s] : nullptr;
     switch (algorithm) {
       case Algorithm::kBkTree:
         per_shard[s] = BkTreeKnn(shards_[s]->suite.bk_tree(), query, j,
@@ -129,10 +145,11 @@ std::vector<Neighbor> ParallelRunner::KnnQuery(Algorithm algorithm,
 RunResult ParallelRunner::RunQueries(Algorithm algorithm,
                                      std::span<const PreparedQuery> queries,
                                      RawDistance theta_raw) {
+  MutexLock lock(&mutex_);
   if (algorithm == Algorithm::kMinimalFV) {
-    PrepareOracle(queries, theta_raw);
+    PrepareOracleLocked(queries, theta_raw);
   } else {
-    Prepare(algorithm);
+    PrepareLocked(algorithm);
   }
 
   RunResult result;

@@ -20,8 +20,15 @@
 // the slots after the fan-out joins (the pool's future handshake is the
 // happens-before edge). No ticker is ever shared between threads.
 //
-// The coordinator methods (RangeQuery / KnnQuery / RunQueries) are not
-// reentrant: one thread drives a ParallelRunner.
+// The coordinator methods (Prepare / RangeQuery / KnnQuery / RunQueries)
+// serialize on an internal coordinator mutex, and the fan-out scratch
+// arrays are TOPK_GUARDED_BY it (compiler-enforced on the clang
+// thread-safety CI leg): one query drives the runner at a time, and a
+// second thread calling in now blocks instead of racing. Per-shard state
+// reached from inside pool tasks (each task owns exactly its shard's
+// slot) is deliberately outside the capability system — that one-writer-
+// per-slot discipline is what the TSan leg and the fuzz differentials
+// check. See DESIGN.md "Locking order & epoch contracts".
 
 #ifndef TOPK_HARNESS_PARALLEL_RUNNER_H_
 #define TOPK_HARNESS_PARALLEL_RUNNER_H_
@@ -31,8 +38,10 @@
 #include <span>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
+#include "core/thread_annotations.h"
 #include "core/types.h"
 #include "harness/query_algorithms.h"
 #include "harness/runner.h"
@@ -65,13 +74,13 @@ class ParallelRunner {
   /// Builds the per-shard indexes and engines behind `algorithm`, one
   /// shard per pool thread. Idempotent; called implicitly by the query
   /// methods. kMinimalFV is workload-bound — use PrepareOracle.
-  void Prepare(Algorithm algorithm);
+  void Prepare(Algorithm algorithm) TOPK_EXCLUDES(mutex_);
 
   /// Materializes the per-shard Minimal-F&V oracles for this workload;
   /// afterwards RangeQuery/RunQueries accept Algorithm::kMinimalFV with
   /// query indexes into `queries`.
   void PrepareOracle(std::span<const PreparedQuery> queries,
-                     RawDistance theta_raw);
+                     RawDistance theta_raw) TOPK_EXCLUDES(mutex_);
 
   /// Exact sharded range query; the returned global ids are ascending,
   /// identical to the same engine over the unsharded store. `query_index`
@@ -81,7 +90,8 @@ class ParallelRunner {
                                     const PreparedQuery& query,
                                     RawDistance theta_raw,
                                     Statistics* stats = nullptr,
-                                    PhaseTimes* phases = nullptr);
+                                    PhaseTimes* phases = nullptr)
+      TOPK_EXCLUDES(mutex_);
 
   std::vector<RankingId> RangeQuery(Algorithm algorithm,
                                     const PreparedQuery& query,
@@ -95,13 +105,14 @@ class ParallelRunner {
   /// to the unsharded searcher.
   std::vector<Neighbor> KnnQuery(Algorithm algorithm,
                                  const PreparedQuery& query, size_t j,
-                                 Statistics* stats = nullptr);
+                                 Statistics* stats = nullptr)
+      TOPK_EXCLUDES(mutex_);
 
   /// Sharded counterpart of RunQueries (harness/runner.h): runs the whole
   /// workload, aggregating latencies, tickers and per-shard phase splits.
   RunResult RunQueries(Algorithm algorithm,
                        std::span<const PreparedQuery> queries,
-                       RawDistance theta_raw);
+                       RawDistance theta_raw) TOPK_EXCLUDES(mutex_);
 
  private:
   struct ShardState {
@@ -112,27 +123,43 @@ class ParallelRunner {
     std::unique_ptr<QueryEngine> oracle;
   };
 
+  /// Prepare/PrepareOracle bodies for callers already holding mutex_.
+  void PrepareLocked(Algorithm algorithm) TOPK_REQUIRES(mutex_);
+  void PrepareOracleLocked(std::span<const PreparedQuery> queries,
+                           RawDistance theta_raw) TOPK_REQUIRES(mutex_);
+
   /// Runs one query on every shard (range form), leaving shard s's global
   /// ids in (*results)[s] and its tickers/phases in the s-th slots.
   void FanOut(Algorithm algorithm, size_t query_index,
               const PreparedQuery& query, RawDistance theta_raw,
               std::vector<std::vector<RankingId>>* results,
               std::vector<Statistics>* stats,
-              std::vector<PhaseTimes>* phases);
+              std::vector<PhaseTimes>* phases) TOPK_REQUIRES(mutex_);
 
+  /// Engine lookup for one shard. Called from inside pool tasks (which
+  /// hold no capability), so it must stay annotation-free: the per-shard
+  /// engine maps are written only by PrepareLocked's fan-out (one task
+  /// per shard) and read-only while queries run.
   QueryEngine* engine(size_t s, Algorithm algorithm);
 
   const ShardedStore* store_;
   ParallelRunnerOptions options_;
   size_t num_threads_;
   ThreadPool pool_;
+  /// Serializes the coordinator methods (above the pool's queue mutex in
+  /// the lock order; shard tasks never touch it).
+  Mutex mutex_;
+  // Shard handles: the vector itself is immutable after construction;
+  // the per-shard state behind it follows the one-task-per-shard rule
+  // documented on engine().
   std::vector<std::unique_ptr<ShardState>> shards_;
 
-  // Fan-out scratch, reused across queries (coordinator methods are
-  // single-threaded; each shard task touches only its own slot).
-  std::vector<std::vector<RankingId>> scratch_results_;
-  std::vector<Statistics> scratch_stats_;
-  std::vector<PhaseTimes> scratch_phases_;
+  // Fan-out scratch, reused across queries. Guarded coordinator-side;
+  // during a fan-out each shard task writes only its own slot through
+  // the pointers FanOut hands it.
+  std::vector<std::vector<RankingId>> scratch_results_ TOPK_GUARDED_BY(mutex_);
+  std::vector<Statistics> scratch_stats_ TOPK_GUARDED_BY(mutex_);
+  std::vector<PhaseTimes> scratch_phases_ TOPK_GUARDED_BY(mutex_);
 };
 
 /// Exact ascending merge of per-shard ascending id lists (exposed for the

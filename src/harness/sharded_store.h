@@ -10,6 +10,12 @@
 // in local id) therefore yields globally ascending ids with a plain
 // k-way merge, and shard-local (distance, id) KNN order coincides with
 // global (distance, id) order.
+//
+// Thread safety: immutable after construction (Partition builds the
+// shards; nothing mutates afterwards), so concurrent readers need no
+// lock and the class deliberately carries no mutex or thread-safety
+// annotations — const access from many threads is the contract the
+// parallel harness relies on.
 
 #ifndef TOPK_HARNESS_SHARDED_STORE_H_
 #define TOPK_HARNESS_SHARDED_STORE_H_

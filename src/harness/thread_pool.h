@@ -19,16 +19,17 @@
 #define TOPK_HARNESS_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace topk {
 
@@ -45,10 +46,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -72,10 +73,10 @@ class ThreadPool {
       return result;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     return result;
   }
 
@@ -97,7 +98,7 @@ class ThreadPool {
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(state->error_mutex);
+          MutexLock lock(&state->error_mutex);
           if (!state->error) state->error = std::current_exception();
         }
       }
@@ -110,22 +111,33 @@ class ThreadPool {
     for (size_t i = 0; i < helpers; ++i) pending.push_back(Submit(drain));
     drain();
     for (std::future<void>& f : pending) f.get();
-    if (state->error) std::rethrow_exception(state->error);
+    // The future handshake above is the happens-before edge, but the
+    // error slot is a guarded member, so read it under its own lock
+    // (uncontended by now) instead of punching an analysis hole.
+    std::exception_ptr error;
+    {
+      MutexLock lock(&state->error_mutex);
+      error = state->error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
   struct ParallelForState {
     std::atomic<size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    Mutex error_mutex;
+    std::exception_ptr error TOPK_GUARDED_BY(error_mutex);
   };
 
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(&mutex_);
+        // Explicit predicate loop (no lambda-predicate overload): the
+        // guarded reads stay in this scope, where the analysis can see
+        // the capability held by `lock`.
+        while (!stopping_ && queue_.empty()) wake_.Wait(mutex_);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -134,10 +146,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ TOPK_GUARDED_BY(mutex_);
+  bool stopping_ TOPK_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -21,6 +21,10 @@
 // cache_ablation section.
 //
 // Hit/miss/eviction counts use the kCandidateCache* tickers.
+//
+// Thread safety: internally synchronized through the ShardedLruCache's
+// annotated per-shard mutexes (serve/lru_cache.h) — like ResultCache,
+// this wrapper holds no mutable state of its own.
 
 #ifndef TOPK_SERVE_CANDIDATE_CACHE_H_
 #define TOPK_SERVE_CANDIDATE_CACHE_H_

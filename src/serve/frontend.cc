@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <exception>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "core/mutex.h"
 
 namespace topk {
 
@@ -53,6 +54,11 @@ void QueryFrontend::PrepareEngines(Algorithm algorithm) {
 }
 
 void QueryFrontend::Prepare(Algorithm algorithm) {
+  MutexLock lock(&serve_mutex_);
+  PrepareLocked(algorithm);
+}
+
+void QueryFrontend::PrepareLocked(Algorithm algorithm) {
   PrepareEngines(algorithm);
   // An explicit Prepare means "keep every build out of my timed window",
   // so also bind the candidate-path index when this algorithm can use it.
@@ -67,10 +73,11 @@ void QueryFrontend::Prepare(Algorithm algorithm) {
 std::vector<ServeResponse> QueryFrontend::ServeBatch(
     std::span<const ServeRequest> requests, Statistics* stats,
     PhaseTimes* phases) {
-  return ServeBatchInternal(requests, stats, phases, nullptr);
+  MutexLock lock(&serve_mutex_);
+  return ServeBatchLocked(requests, stats, phases, nullptr);
 }
 
-std::vector<ServeResponse> QueryFrontend::ServeBatchInternal(
+std::vector<ServeResponse> QueryFrontend::ServeBatchLocked(
     std::span<const ServeRequest> requests, Statistics* stats,
     PhaseTimes* phases, std::vector<double>* latencies) {
   for (const ServeRequest& request : requests) {
@@ -94,10 +101,15 @@ std::vector<ServeResponse> QueryFrontend::ServeBatchInternal(
   // Work sharing as in ThreadPool::ParallelFor, but with an explicit
   // executor id so every in-flight request has private engines/scratch.
   std::atomic<size_t> next{0};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr error;
-  auto drain = [&](size_t e) {
-    Executor& executor = executors_[e];
+  // The drain tasks reach their slot through this pointer, not through
+  // the guarded executors_ member: the per-slot discipline (task e owns
+  // slot e for the whole fan-out) is what makes that sound, and the
+  // coordinator only touches the slots again after the join below.
+  Executor* const executor_slots = executors_.data();
+  auto drain = [&, executor_slots](size_t e) {
+    Executor& executor = executor_slots[e];
     for (size_t i; (i = next.fetch_add(1)) < requests.size();) {
       Stopwatch watch;
       try {
@@ -105,7 +117,7 @@ std::vector<ServeResponse> QueryFrontend::ServeBatchInternal(
       } catch (...) {
         // First exception wins; the batch still drains so the frontend
         // (and its pool) stays usable after the rethrow below.
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock error_lock(&error_mutex);
         if (!error) error = std::current_exception();
       }
       if (latencies != nullptr) (*latencies)[i] = watch.ElapsedMillis();
@@ -279,7 +291,8 @@ std::vector<RankingId> QueryFrontend::ValidateCandidates(
 RunResult QueryFrontend::ServeWorkload(Algorithm algorithm,
                                        std::span<const PreparedQuery> queries,
                                        RawDistance theta_raw) {
-  Prepare(algorithm);
+  MutexLock lock(&serve_mutex_);
+  PrepareLocked(algorithm);
   std::vector<ServeRequest> requests;
   requests.reserve(queries.size());
   for (const PreparedQuery& query : queries) {
@@ -292,7 +305,7 @@ RunResult QueryFrontend::ServeWorkload(Algorithm algorithm,
   std::vector<double> latencies;
   Stopwatch total;
   const std::vector<ServeResponse> responses =
-      ServeBatchInternal(requests, &result.stats, &result.phases, &latencies);
+      ServeBatchLocked(requests, &result.stats, &result.phases, &latencies);
   result.wall_ms = total.ElapsedMillis();
   for (const ServeResponse& response : responses) {
     result.total_results += response.ids.size();

@@ -31,11 +31,15 @@
 // requested engine — enforced by the serve differential suites
 // (serve_frontend_test, FuzzServeTest in fuzz_differential_test).
 //
-// Concurrency contract: one thread drives ServeBatch/ServeWorkload (the
-// coordinator methods are not reentrant, mirroring ParallelRunner);
-// InvalidateCaches() may be called from any thread at any time. A request
-// observes the generation current when its batch started: requests racing
-// an invalidation linearize before it.
+// Concurrency contract (compiler-enforced where the analysis can see
+// it): the coordinator methods (Prepare/ServeBatch/ServeWorkload) run
+// one-at-a-time under serve_mutex_ — concurrent callers serialize
+// instead of racing — and the per-executor table is TOPK_GUARDED_BY that
+// mutex. InvalidateCaches() may be called from any thread at any time.
+// A request observes the generation current when its batch started:
+// requests racing an invalidation linearize before it. The lock
+// hierarchy (serve_mutex_ above the cache shard mutexes, never the
+// reverse) is recorded in DESIGN.md "Locking order & epoch contracts".
 //
 // Engine thread safety: each executor owns a private QueryEngine per
 // algorithm (per-engine scratch), all sharing the suite's immutable
@@ -54,8 +58,10 @@
 #include <span>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
+#include "core/thread_annotations.h"
 #include "core/types.h"
 #include "harness/query_algorithms.h"
 #include "harness/runner.h"
@@ -144,16 +150,17 @@ class QueryFrontend {
   /// implicitly, so calling this is only needed to keep index construction
   /// out of a timed window. kMinimalFV is rejected at serve time (the
   /// oracle is workload-bound and has no place in an online frontend).
-  void Prepare(Algorithm algorithm);
+  void Prepare(Algorithm algorithm) TOPK_EXCLUDES(serve_mutex_);
 
   /// Serves `requests` across the pool; response i answers request i.
   /// Per-request tickers (including cache hit/miss/eviction counts) are
   /// merged into `stats` when non-null, phase splits into `phases`. If any
   /// request threw (e.g. kMinimalFV or an unsupported k-NN backend), the
   /// first exception is rethrown after every other request completed.
-  std::vector<ServeResponse> ServeBatch(
-      std::span<const ServeRequest> requests, Statistics* stats = nullptr,
-      PhaseTimes* phases = nullptr);
+  std::vector<ServeResponse> ServeBatch(std::span<const ServeRequest> requests,
+                                        Statistics* stats = nullptr,
+                                        PhaseTimes* phases = nullptr)
+      TOPK_EXCLUDES(serve_mutex_);
 
   /// Harness-style measurement loop: serves the whole workload as one
   /// batch of range requests and aggregates the usual RunResult (cache
@@ -161,7 +168,7 @@ class QueryFrontend {
   /// percentiles).
   RunResult ServeWorkload(Algorithm algorithm,
                           std::span<const PreparedQuery> queries,
-                          RawDistance theta_raw);
+                          RawDistance theta_raw) TOPK_EXCLUDES(serve_mutex_);
 
   /// Generation bump: every currently cached entry becomes unservable.
   /// Thread-safe. This invalidates the *caches* only — the indexes and
@@ -184,12 +191,15 @@ class QueryFrontend {
     FootruleValidator validator;
   };
 
-  std::vector<ServeResponse> ServeBatchInternal(
+  std::vector<ServeResponse> ServeBatchLocked(
       std::span<const ServeRequest> requests, Statistics* stats,
-      PhaseTimes* phases, std::vector<double>* latencies);
+      PhaseTimes* phases, std::vector<double>* latencies)
+      TOPK_REQUIRES(serve_mutex_);
   /// Engines + k-NN index handles for `algorithm` (no candidate-path
   /// index; ServeBatch binds that only when a range request needs it).
-  void PrepareEngines(Algorithm algorithm);
+  void PrepareEngines(Algorithm algorithm) TOPK_REQUIRES(serve_mutex_);
+  /// Prepare's body, for callers already inside the coordinator section.
+  void PrepareLocked(Algorithm algorithm) TOPK_REQUIRES(serve_mutex_);
   void ServeOne(Executor* executor, const ServeRequest& request,
                 uint64_t epoch, ServeResponse* response);
   std::vector<RankingId> ServeRange(Executor* executor,
@@ -214,10 +224,23 @@ class QueryFrontend {
   QueryFrontendOptions options_;
   size_t num_threads_;
   ThreadPool pool_;
+  /// Serializes the coordinator methods; held across a whole batch.
+  /// Ordered above every cache shard mutex and the pool's queue mutex
+  /// (both are leaves acquired under it, never the reverse).
+  Mutex serve_mutex_;
   EngineSuite suite_;
-  std::vector<Executor> executors_;
+  /// Executor slots. Guarded accesses are the coordinator's (reset,
+  /// engine setup, post-join merge); during the fan-out each drain task
+  /// works through a pointer to its private slot, which is the
+  /// one-writer-per-slot discipline the TSan leg checks.
+  std::vector<Executor> executors_ TOPK_GUARDED_BY(serve_mutex_);
   ResultCache result_cache_;
   CandidateCache candidate_cache_;
+  // Index handles are written only inside the coordinator section and
+  // read by executor tasks after the fan-out publishes them (the pool's
+  // future handshake is the happens-before edge), so they are plain
+  // pointers rather than guarded members: a guarded read from a worker
+  // would need the coordinator lock the workers must not take.
   const PlainInvertedIndex* plain_index_ = nullptr;  // set on first prepare
   const BkTree* bk_tree_ = nullptr;                  // k-NN backends,
   const MTree* m_tree_ = nullptr;                    // built by Prepare

@@ -21,6 +21,12 @@
 //                 A fingerprint collision therefore degrades to a
 //                 miss/replacement, never to a wrong answer.
 //
+// Locking contract (compiler-enforced, see core/thread_annotations.h):
+// all shard state is TOPK_GUARDED_BY the shard's own mutex, and every
+// operation is a Shard member that takes a MutexLock on entry — shard
+// mutexes are leaves of the lock hierarchy (DESIGN.md "Locking order &
+// epoch contracts"), never held across calls out of this header.
+//
 // Key must provide a `uint64_t hash` member (precomputed fingerprint) and
 // operator==. Value must be copyable (hits copy the value out under the
 // shard lock).
@@ -31,10 +37,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace topk {
 
@@ -64,20 +72,7 @@ class ShardedLruCache {
   /// Touching a stale-epoch entry erases it (lazy invalidation).
   bool Lookup(const Key& key, uint64_t epoch, Value* out) {
     if (per_shard_capacity_ == 0) return false;
-    Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.map.find(key.hash);
-    if (it == shard.map.end()) return false;
-    const auto entry = it->second;
-    if (entry->epoch != epoch) {  // stale generation: invalidate on touch
-      shard.map.erase(it);
-      shard.lru.erase(entry);
-      return false;
-    }
-    if (!(entry->key == key)) return false;  // fingerprint collision
-    shard.lru.splice(shard.lru.begin(), shard.lru, entry);  // most recent
-    *out = entry->value;
-    return true;
+    return shard_for(key).Lookup(key, epoch, out);
   }
 
   /// Inserts (or replaces) the entry for `key`, stamped with `epoch`.
@@ -86,44 +81,19 @@ class ShardedLruCache {
   /// count as an eviction.
   size_t Insert(const Key& key, uint64_t epoch, Value value) {
     if (per_shard_capacity_ == 0) return 0;
-    Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.map.find(key.hash);
-    if (it != shard.map.end()) {  // refresh (or fingerprint-collision swap)
-      const auto entry = it->second;
-      entry->key = key;
-      entry->value = std::move(value);
-      entry->epoch = epoch;
-      shard.lru.splice(shard.lru.begin(), shard.lru, entry);
-      return 0;
-    }
-    size_t evicted = 0;
-    while (shard.lru.size() >= per_shard_capacity_) {
-      shard.map.erase(shard.lru.back().key.hash);
-      shard.lru.pop_back();
-      ++evicted;
-    }
-    shard.lru.push_front(Entry{key, std::move(value), epoch});
-    shard.map.emplace(key.hash, shard.lru.begin());
-    return evicted;
+    return shard_for(key).Insert(key, epoch, std::move(value),
+                                 per_shard_capacity_);
   }
 
   /// Drops every entry immediately (epoch bumps alone invalidate lazily).
   void Clear() {
-    for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.map.clear();
-      shard.lru.clear();
-    }
+    for (Shard& shard : shards_) shard.Clear();
   }
 
   /// Current entry count (includes not-yet-touched stale entries).
   size_t size() const {
     size_t total = 0;
-    for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      total += shard.lru.size();
-    }
+    for (const Shard& shard : shards_) total += shard.Size();
     return total;
   }
 
@@ -137,11 +107,68 @@ class ShardedLruCache {
     uint64_t epoch;
   };
 
+  /// One lock's worth of the cache. Locking lives inside the shard's own
+  /// methods so every guarded access resolves against `this->mutex` —
+  /// the pattern the thread-safety analysis verifies without any alias
+  /// reasoning.
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  // front = most recently used
+    mutable Mutex mutex;
+    // front = most recently used.
+    std::list<Entry> lru TOPK_GUARDED_BY(mutex);
     // Buckets by fingerprint; full-key equality is verified on hit.
-    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> map;
+    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> map
+        TOPK_GUARDED_BY(mutex);
+
+    bool Lookup(const Key& key, uint64_t epoch, Value* out)
+        TOPK_EXCLUDES(mutex) {
+      MutexLock lock(&mutex);
+      const auto it = map.find(key.hash);
+      if (it == map.end()) return false;
+      const auto entry = it->second;
+      if (entry->epoch != epoch) {  // stale generation: invalidate on touch
+        map.erase(it);
+        lru.erase(entry);
+        return false;
+      }
+      if (!(entry->key == key)) return false;  // fingerprint collision
+      lru.splice(lru.begin(), lru, entry);     // most recent
+      *out = entry->value;
+      return true;
+    }
+
+    size_t Insert(const Key& key, uint64_t epoch, Value value,
+                  size_t shard_capacity) TOPK_EXCLUDES(mutex) {
+      MutexLock lock(&mutex);
+      const auto it = map.find(key.hash);
+      if (it != map.end()) {  // refresh (or fingerprint-collision swap)
+        const auto entry = it->second;
+        entry->key = key;
+        entry->value = std::move(value);
+        entry->epoch = epoch;
+        lru.splice(lru.begin(), lru, entry);
+        return 0;
+      }
+      size_t evicted = 0;
+      while (lru.size() >= shard_capacity) {
+        map.erase(lru.back().key.hash);
+        lru.pop_back();
+        ++evicted;
+      }
+      lru.push_front(Entry{key, std::move(value), epoch});
+      map.emplace(key.hash, lru.begin());
+      return evicted;
+    }
+
+    void Clear() TOPK_EXCLUDES(mutex) {
+      MutexLock lock(&mutex);
+      map.clear();
+      lru.clear();
+    }
+
+    size_t Size() const TOPK_EXCLUDES(mutex) {
+      MutexLock lock(&mutex);
+      return lru.size();
+    }
   };
 
   Shard& shard_for(const Key& key) {

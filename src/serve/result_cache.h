@@ -12,6 +12,13 @@
 // Hit/miss/eviction counts are reported through the standard Statistics
 // tickers (kResultCache*), so they aggregate into RunResult like every
 // other counter.
+//
+// Thread safety: internally synchronized — all state lives in the
+// ShardedLruCache, whose per-shard mutexes carry the compile-checked
+// annotations (see serve/lru_cache.h); this wrapper adds no state of
+// its own beyond the cache, so it needs no lock and no annotations.
+// The Statistics object passed per call is caller-owned (thread-local
+// in the frontend's executors).
 
 #ifndef TOPK_SERVE_RESULT_CACHE_H_
 #define TOPK_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,160 @@
+// Differential test for the delta inverted index's live-mutability hook:
+// an index grown record-by-record through Insert() must answer queries
+// bit-identically to one rebuilt from scratch over the same store (and to
+// the brute-force ground truth), at every growth step — the exactness
+// contract the ROADMAP write path builds on. The global order differs
+// between the two (Build optimizes by frequency, Insert freezes
+// first-seen order); that moves scan cost, never results, and this test
+// is what holds that claim.
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adapt/adapt_search.h"
+#include "adapt/delta_inverted_index.h"
+#include "core/bounds.h"
+#include "core/ranking.h"
+#include "data/dataset_stats.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+// Structural invariants of the position-block directory that Prefix()
+// depends on: offsets ascend with prefix length, the full prefix is the
+// whole list, and every stored entry's rank field really is the record's
+// sorted position under the index's own global order.
+void CheckStructure(const DeltaInvertedIndex& index,
+                    const RankingStore& store) {
+  ASSERT_EQ(index.num_indexed(), store.size());
+  for (ItemId item = 0; item <= store.max_item(); ++item) {
+    size_t previous = 0;
+    for (uint32_t len = 0; len <= index.k(); ++len) {
+      const size_t size = index.Prefix(item, len).size();
+      ASSERT_GE(size, previous) << "item " << item << " len " << len;
+      previous = size;
+    }
+    ASSERT_EQ(previous, index.list(item).size()) << "item " << item;
+  }
+  for (RankingId id = 0; id < store.size(); ++id) {
+    const std::vector<ItemId> sorted = index.SortByGlobalOrder(store.view(id));
+    for (uint32_t pos = 0; pos < sorted.size(); ++pos) {
+      bool found = false;
+      for (const AugmentedEntry& entry : index.list(sorted[pos])) {
+        if (entry.id == id && entry.rank == pos) {
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "record " << id << " missing at pos " << pos;
+    }
+  }
+}
+
+TEST(DeltaInsertTest, InterleavedInsertMatchesRebuildBitExact) {
+  constexpr uint32_t kK = 8;
+  constexpr size_t kTotal = 600;
+  constexpr size_t kBatch = 150;
+  const RankingStore source = testutil::MakeClusteredStore(kK, kTotal, 931);
+
+  RankingStore growing(kK);
+  DeltaInvertedIndex incremental;
+  // One engine reused across all growth steps: exercises the lazy counter
+  // growth in AdaptSearchEngine::Query (the store and index both grow
+  // underneath it between query phases).
+  AdaptSearchEngine live_engine(&growing, &incremental);
+
+  for (size_t grown = 0; grown < kTotal;) {
+    // Write phase: interleave store appends with index inserts.
+    const size_t end = grown + kBatch;
+    for (; grown < end; ++grown) {
+      const RankingView record = source.view(static_cast<RankingId>(grown));
+      const RankingId id =
+          growing.AddUnchecked({record.items().data(), record.items().size()});
+      ASSERT_EQ(id, static_cast<RankingId>(grown));
+      incremental.Insert(id, record);
+    }
+    CheckStructure(incremental, growing);
+
+    // Query phase: the grown index, a from-scratch rebuild, and brute
+    // force must agree exactly.
+    const DeltaInvertedIndex rebuilt = DeltaInvertedIndex::Build(growing);
+    CheckStructure(rebuilt, growing);
+    AdaptSearchEngine rebuilt_engine(&growing, &rebuilt);
+    const auto queries = testutil::MakeQueries(growing, 12, 932 + grown);
+    for (const double theta : {0.02, 0.08, 0.2}) {
+      const RawDistance theta_raw = RawThreshold(theta, kK);
+      for (const PreparedQuery& query : queries) {
+        const std::vector<RankingId> expected =
+            testutil::BruteForce(growing, query, theta_raw);
+        EXPECT_EQ(live_engine.Query(query, theta_raw), expected)
+            << "incremental, n=" << grown << " theta=" << theta;
+        EXPECT_EQ(rebuilt_engine.Query(query, theta_raw), expected)
+            << "rebuilt, n=" << grown << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(DeltaInsertTest, InsertIntoBuiltIndexExtendsFrozenOrder) {
+  // Build over a prefix, then Insert the rest: the mixed-provenance index
+  // (frequency order for built items, first-seen extension for new ones)
+  // must still be exact.
+  constexpr uint32_t kK = 6;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 500, 941);
+
+  RankingStore growing(kK);
+  for (RankingId id = 0; id < 300; ++id) {
+    const RankingView record = source.view(id);
+    growing.AddUnchecked({record.items().data(), record.items().size()});
+  }
+  DeltaInvertedIndex index = DeltaInvertedIndex::Build(growing);
+  for (RankingId id = 300; id < 500; ++id) {
+    const RankingView record = source.view(id);
+    growing.AddUnchecked({record.items().data(), record.items().size()});
+    index.Insert(id, record);
+  }
+  CheckStructure(index, growing);
+
+  AdaptSearchEngine engine(&growing, &index);
+  const auto queries = testutil::MakeQueries(growing, 20, 942);
+  for (const double theta : {0.05, 0.15}) {
+    const RawDistance theta_raw = RawThreshold(theta, kK);
+    for (const PreparedQuery& query : queries) {
+      EXPECT_EQ(engine.Query(query, theta_raw),
+                testutil::BruteForce(growing, query, theta_raw))
+          << "theta=" << theta;
+    }
+  }
+}
+
+TEST(DeltaInsertTest, FirstInsertDefinesK) {
+  // An index grown from empty (no Build call) adopts k from its first
+  // record and stays exact.
+  constexpr uint32_t kK = 5;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 120, 951);
+  RankingStore growing(kK);
+  DeltaInvertedIndex index;
+  EXPECT_EQ(index.k(), 0u);
+  for (RankingId id = 0; id < source.size(); ++id) {
+    const RankingView record = source.view(id);
+    growing.AddUnchecked({record.items().data(), record.items().size()});
+    index.Insert(id, record);
+  }
+  EXPECT_EQ(index.k(), kK);
+  CheckStructure(index, growing);
+
+  AdaptSearchEngine engine(&growing, &index);
+  const auto queries = testutil::MakeQueries(growing, 15, 952);
+  const RawDistance theta_raw = RawThreshold(0.1, kK);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(engine.Query(query, theta_raw),
+              testutil::BruteForce(growing, query, theta_raw));
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,37 @@
+// Positive control for the thread-safety negative compile test: the same
+// shape as compile_fail/guarded_by_violation.cc but with the MutexLock in
+// place. Must compile cleanly under `clang++ -Wthread-safety
+// -Werror=thread-safety` (and under GCC, where the annotations are
+// no-ops). If this file stops compiling, the negative test below it is
+// meaningless — check tests/CMakeLists.txt.
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+// Miniature of the ShardedLruCache shard / QueryFrontend coordinator
+// pattern: state guarded by the object's own mutex, touched only by
+// methods that take the lock.
+struct Shard {
+  topk::Mutex mutex;
+  int entries TOPK_GUARDED_BY(mutex) = 0;
+
+  void Touch() TOPK_EXCLUDES(mutex) {
+    topk::MutexLock lock(&mutex);
+    ++entries;  // guarded access under its capability: OK
+  }
+
+  int Read() TOPK_EXCLUDES(mutex) {
+    topk::MutexLock lock(&mutex);
+    return entries;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shard shard;
+  shard.Touch();
+  return shard.Read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Negative compile test: this file must FAIL to compile under
+// `clang++ -Wthread-safety -Werror=thread-safety`. It is the
+// MutexLock-removed twin of compile_fail/guarded_by_ok.cc — exactly the
+// edit ("delete one MutexLock from lru_cache.h / frontend.cc") that the
+// annotation layer exists to catch. tests/CMakeLists.txt try_compiles it
+// at configure time on the Clang thread-safety leg and fails the build if
+// it compiles; under GCC the annotations are no-ops and the check is
+// skipped (the file then compiles, which is expected and not asserted).
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+struct Shard {
+  topk::Mutex mutex;
+  int entries TOPK_GUARDED_BY(mutex) = 0;
+
+  void Touch() TOPK_EXCLUDES(mutex) {
+    // MutexLock deliberately missing: unguarded write to a GUARDED_BY
+    // member — must be a -Wthread-safety diagnostic, i.e. a build error.
+    ++entries;
+  }
+
+  int Read() TOPK_EXCLUDES(mutex) {
+    return entries;  // unguarded read: same story
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shard shard;
+  shard.Touch();
+  return shard.Read() == 1 ? 0 : 1;
+}

@@ -404,5 +404,38 @@ TEST_F(ServeFrontendTest, ServeWorkloadMatchesSequentialRunner) {
             queries_.size());
 }
 
+TEST_F(ServeFrontendTest, ConcurrentServeBatchCallersSerializeSafely) {
+  // Two application threads hammering the same frontend concurrently:
+  // serve_mutex_ serializes them (the compile-time contract from
+  // core/thread_annotations.h), so every response stays exact and TSan
+  // sees no race on the executor slots. Before the coordinator mutex this
+  // was documented as caller-must-serialize; now it is load-bearing.
+  QueryFrontendOptions options;
+  options.num_threads = 3;
+  QueryFrontend frontend(&store_, options);
+
+  std::vector<ServeRequest> requests;
+  for (const PreparedQuery& query : queries_) {
+    requests.push_back(ServeRequest::Range(Algorithm::kFV, query, theta_));
+  }
+
+  std::atomic<int> failures{0};
+  auto caller = [&] {
+    for (int round = 0; round < 8; ++round) {
+      const auto responses = frontend.ServeBatch(requests);
+      for (size_t i = 0; i < requests.size(); ++i) {
+        if (responses[i].ids !=
+            testutil::BruteForce(store_, *requests[i].query, theta_)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  std::thread other(caller);
+  caller();
+  other.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace topk
