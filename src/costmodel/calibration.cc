@@ -1,7 +1,6 @@
 #include "costmodel/calibration.h"
 
 #include <algorithm>
-#include <numeric>
 #include <vector>
 
 #include "core/footrule.h"

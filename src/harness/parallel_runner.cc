@@ -1,7 +1,5 @@
 #include "harness/parallel_runner.h"
 
-#include <algorithm>
-
 #include "core/status.h"
 
 namespace topk {

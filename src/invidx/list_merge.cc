@@ -1,7 +1,5 @@
 #include "invidx/list_merge.h"
 
-#include <limits>
-
 #include "core/bounds.h"
 
 namespace topk {

@@ -1,7 +1,7 @@
 #include "metric/knn.h"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
 
 #include "core/footrule.h"
 
