@@ -32,6 +32,7 @@
 #include "harness/runner.h"
 #include "json_writer.h"
 #include "kernel_bench.h"
+#include "mutability_bench.h"
 #include "parallel_util.h"
 
 namespace topk {
@@ -352,6 +353,7 @@ int Run(int argc, char** argv) {
   EmitIndexBuild(&json, datasets);
   EmitQueryLatency(&json, args, datasets);
   EmitParallelScaling(&json, args, datasets);
+  bench::EmitMutabilitySection(&json, args);
 
   json.EndObject();
   out << "\n";

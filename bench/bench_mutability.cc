@@ -1,0 +1,50 @@
+// bench_mutability: standalone benchmark of the live write path.
+//
+// Prints the same `mutability` section bench_baseline embeds into
+// BENCH_baseline.json (insert throughput, query latency at growing delta
+// sizes with a bit-exactness check against a rebuilt store, merge wall
+// time plus the worst query latency observed while a merge runs), as its
+// own JSON document (default BENCH_mutability.json, override with
+// --out=). Useful for iterating on mutate/ changes without re-running
+// the full baseline.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "json_writer.h"
+#include "mutability_bench.h"
+
+namespace topk {
+namespace {
+
+int Run(int argc, char** argv) {
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  std::string out_path = "BENCH_mutability.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  bench::PrintHeader("Mutability benchmark (JSON)", args);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Uint(1);
+  bench::EmitMutabilitySection(&json, args);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) { return topk::Run(argc, argv); }

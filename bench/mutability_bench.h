@@ -1,0 +1,263 @@
+// The `mutability` benchmark section: the live write path under load,
+// shared by the standalone bench_mutability binary and bench_baseline
+// (which embeds the section into BENCH_baseline.json).
+//
+// Three experiments over mutate/MutableStore:
+//
+//   insert          sustained insert throughput into the delta segment,
+//                   with and without the background merge worker folding
+//                   sealed deltas underneath the writers.
+//   query_vs_delta  range and k-NN latency against a fixed main segment
+//                   as the unmerged delta grows (0 / 512 / 2048 rows):
+//                   the price of querying main + delta before a merge.
+//                   Every row re-checks bit-exactness against a
+//                   rebuilt-from-scratch store (the exact_match column is
+//                   row identity: a false would surface as a changed row).
+//   merge           the seal -> rebuild -> swap cycle: rebuild wall time,
+//                   and the worst single-query latency observed while the
+//                   merge runs on another thread (the "merge pause" —
+//                   readers wait only for the O(1) seal/swap sections).
+
+#ifndef TOPK_BENCH_MUTABILITY_BENCH_H_
+#define TOPK_BENCH_MUTABILITY_BENCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/footrule.h"
+#include "json_writer.h"
+#include "metric/knn.h"
+#include "mutate/mutable_store.h"
+
+namespace topk {
+namespace bench {
+
+namespace mutability_detail {
+
+using Clock = std::chrono::steady_clock;
+
+inline double ElapsedMsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// The query set every experiment shares: issued against main + delta,
+/// checked against a rebuild of the same rows.
+struct LiveWorkload {
+  RankingStore source;           // rows 0..main_n+max_delta feed the store
+  std::vector<PreparedQuery> queries;
+  size_t main_n;
+};
+
+inline LiveWorkload MakeLiveWorkload(const BenchArgs& args, uint32_t k,
+                                     size_t max_delta) {
+  LiveWorkload w{MakeNyt(args, k), {}, 0};
+  w.queries = MakeBenchWorkload(w.source, args);
+  w.main_n = w.source.size() > 2 * max_delta
+                 ? w.source.size() - max_delta
+                 : w.source.size() / 2;
+  return w;
+}
+
+/// Seeds a store with the workload's main prefix.
+inline RankingStore MainPrefix(const LiveWorkload& w) {
+  RankingStore main(w.source.k());
+  main.Reserve(w.main_n);
+  for (RankingId id = 0; id < static_cast<RankingId>(w.main_n); ++id) {
+    main.AddUnchecked(w.source.view(id).items());
+  }
+  return main;
+}
+
+}  // namespace mutability_detail
+
+/// Emits the `mutability` array (caller owns the surrounding object).
+inline void EmitMutabilitySection(JsonWriter* json, const BenchArgs& args) {
+  using mutability_detail::Clock;
+  using mutability_detail::ElapsedMsSince;
+  constexpr uint32_t kK = 10;
+  constexpr size_t kMaxDelta = 2048;
+  const auto workload = mutability_detail::MakeLiveWorkload(args, kK,
+                                                            kMaxDelta);
+  const RankingStore main = mutability_detail::MainPrefix(workload);
+  const double theta = 0.1;
+  const RawDistance theta_raw = RawThreshold(theta, kK);
+
+  json->Key("mutability");
+  json->BeginArray();
+
+  // --- insert: sustained write throughput into the delta. ---
+  for (const bool with_worker : {false, true}) {
+    MutableStoreOptions options;
+    if (with_worker) options.merge_threshold = 1024;
+    MutableStore store(kK, options);
+    const auto n = static_cast<RankingId>(workload.source.size());
+    const auto start = Clock::now();
+    for (RankingId id = 0; id < n; ++id) {
+      store.Insert(workload.source.view(id));
+    }
+    const double wall_ms = ElapsedMsSince(start);
+    json->BeginObject();
+    json->Key("bench");
+    json->String("insert");
+    json->Key("mode");
+    json->String(with_worker ? "with_merge_worker" : "delta_only");
+    json->Key("k");
+    json->Uint(kK);
+    json->Key("inserts");
+    json->Uint(n);
+    json->Key("wall_ms");
+    json->Double(wall_ms);
+    json->Key("inserts_per_sec");
+    json->Double(static_cast<double>(n) / (wall_ms / 1e3));
+    json->EndObject();
+    std::cerr << "  mutability insert "
+              << (with_worker ? "with_merge_worker" : "delta_only")
+              << " done\n";
+  }
+
+  // --- query_vs_delta: latency and exactness as the delta grows. ---
+  for (const size_t delta : {size_t{0}, size_t{512}, kMaxDelta}) {
+    MutableStore store(main);
+    RankingStore rebuilt = main;  // the oracle: same rows, one segment
+    for (size_t i = 0; i < delta; ++i) {
+      const RankingView record =
+          workload.source.view(static_cast<RankingId>(workload.main_n + i));
+      store.Insert(record);
+      rebuilt.AddUnchecked(record.items());
+    }
+
+    // Exactness first (the oracle scan dominates, so time separately).
+    bool range_exact = true;
+    bool knn_exact = true;
+    for (const PreparedQuery& query : workload.queries) {
+      const std::vector<RankingId> got = store.RangeQuery(query, theta_raw);
+      std::vector<RankingId> expected;
+      for (RankingId id = 0; id < rebuilt.size(); ++id) {
+        if (FootruleDistance(query.sorted_view(), rebuilt.sorted(id)) <=
+            theta_raw) {
+          expected.push_back(id);
+        }
+      }
+      range_exact = range_exact && got == expected;
+    }
+    const double range_ms = [&] {
+      const auto start = Clock::now();
+      uint64_t sink = 0;
+      for (const PreparedQuery& query : workload.queries) {
+        sink += store.RangeQuery(query, theta_raw).size();
+      }
+      if (sink == UINT64_MAX) std::cerr << "unreachable\n";
+      return ElapsedMsSince(start);
+    }();
+    for (const PreparedQuery& query : workload.queries) {
+      knn_exact = knn_exact &&
+                  store.KnnQuery(query, 10) == LinearScanKnn(rebuilt,
+                                                             query, 10);
+    }
+    const double knn_ms = [&] {
+      const auto start = Clock::now();
+      uint64_t sink = 0;
+      for (const PreparedQuery& query : workload.queries) {
+        sink += store.KnnQuery(query, 10).size();
+      }
+      if (sink == UINT64_MAX) std::cerr << "unreachable\n";
+      return ElapsedMsSince(start);
+    }();
+
+    struct Row {
+      const char* kind;
+      bool exact;
+      double wall_ms;
+    };
+    const Row rows[] = {
+        {"range", range_exact, range_ms},
+        {"knn", knn_exact, knn_ms},
+    };
+    for (const Row& row : rows) {
+      json->BeginObject();
+      json->Key("bench");
+      json->String("query_vs_delta");
+      json->Key("kind");
+      json->String(row.kind);
+      json->Key("k");
+      json->Uint(kK);
+      json->Key("n");
+      json->Uint(workload.main_n);
+      json->Key("delta");
+      json->Uint(delta);
+      json->Key("queries");
+      json->Uint(workload.queries.size());
+      json->Key("exact_match");
+      json->Bool(row.exact);
+      json->Key("wall_ms");
+      json->Double(row.wall_ms);
+      json->Key("mean_ms_per_query");
+      json->Double(row.wall_ms /
+                   static_cast<double>(workload.queries.size()));
+      json->EndObject();
+    }
+    std::cerr << "  mutability query_vs_delta delta=" << delta
+              << (range_exact && knn_exact ? " exact" : " MISMATCH")
+              << "\n";
+  }
+
+  // --- merge: rebuild wall time + worst query latency during it. ---
+  {
+    MutableStore store(main);
+    for (size_t i = 0; i < kMaxDelta; ++i) {
+      store.Insert(workload.source.view(
+          static_cast<RankingId>(workload.main_n + i)));
+    }
+    // Tombstone 512 main rows so the merge also compacts deletes.
+    for (RankingId id = 0; id < 512; ++id) store.Delete(id * 2);
+
+    double max_query_ms = 0;
+    const auto merge_start = Clock::now();
+    std::thread merger([&store] { store.MergeNow(); });
+    // Hammer queries while the rebuild runs; each should only ever wait
+    // for the O(1) seal/swap sections.
+    uint64_t during = 0;
+    do {
+      const PreparedQuery& query =
+          workload.queries[during % workload.queries.size()];
+      const auto q_start = Clock::now();
+      const auto ids = store.RangeQuery(query, theta_raw);
+      max_query_ms = std::max(max_query_ms, ElapsedMsSince(q_start));
+      during += ids.size() + 1;
+    } while (store.tombstone_count() > 0 || store.delta_size() > 0);
+    merger.join();
+    const double merge_ms = ElapsedMsSince(merge_start);
+
+    json->BeginObject();
+    json->Key("bench");
+    json->String("merge");
+    json->Key("k");
+    json->Uint(kK);
+    json->Key("n");
+    json->Uint(workload.main_n);
+    json->Key("delta");
+    json->Uint(kMaxDelta);
+    json->Key("merge_wall_ms");
+    json->Double(merge_ms);
+    // Worst single-query latency observed while the rebuild ran — the
+    // "merge pause". Named *_ms so the compare script's drift gate sees it.
+    json->Key("merge_pause_ms");
+    json->Double(max_query_ms);
+    json->EndObject();
+    std::cerr << "  mutability merge done (" << merge_ms << " ms, worst query "
+              << max_query_ms << " ms)\n";
+  }
+
+  json->EndArray();
+}
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_MUTABILITY_BENCH_H_

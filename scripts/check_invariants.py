@@ -26,6 +26,13 @@ Checks (each is a named rule; any violation exits non-zero):
                   the two leaf invidx headers (drop_policy.h,
                   visited_set.h). Kernels are the bottom layer; an engine
                   include would invert the dependency stack.
+  generation-bump every live-store mutation entry point (Insert / Delete /
+                  InstallMergedLocked in src/mutate/ and the sharded
+                  router) must bump the store generation via
+                  BumpGenerationLocked, or carry an explicit
+                  `generation: delegated` marker comment naming who bumps
+                  instead. A mutation that skips the bump leaves serve-layer
+                  caches answering from a world that no longer exists.
 
 Run from anywhere: paths resolve relative to the repo root (parent of this
 script's directory). `--self-test` feeds each rule a synthetic violation
@@ -75,11 +82,24 @@ ALLOC_ALLOWED: set[str] = set()  # arenas use std::vector storage today
 BENCH_REQUIRED_SECTIONS = {
     "BENCH_baseline.json": [
         "schema_version", "meta", "footrule_kernel", "kernel", "simd",
-        "index_build", "query_latency", "parallel_scaling",
+        "index_build", "query_latency", "parallel_scaling", "mutability",
     ],
     "BENCH_parallel.json": ["schema_version", "hardware_concurrency", "rows"],
     "BENCH_serving.json": ["schema_version", "hardware_concurrency", "rows"],
+    "BENCH_mutability.json": ["schema_version", "mutability"],
 }
+
+# generation-bump -----------------------------------------------------------
+
+# Files holding live-store mutation entry points. Every matching method
+# definition must either bump the generation (BumpGenerationLocked) or
+# carry the `generation: delegated` marker comment saying who bumps.
+GENERATION_FILE_PREFIXES = ("src/mutate/",
+                            "src/harness/sharded_mutable_store")
+GENERATION_ENTRY_RE = re.compile(
+    r"\b\w+::(Insert|Delete|InstallMergedLocked)\s*\(")
+GENERATION_BUMP_RE = re.compile(r"\bBumpGenerationLocked\s*\(")
+GENERATION_DELEGATED_MARKER = "generation: delegated"
 
 # kernel-layering -----------------------------------------------------------
 
@@ -206,6 +226,46 @@ def check_bench_schema() -> list[Failure]:
     return failures
 
 
+def check_generation_bump(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if not rel.startswith(GENERATION_FILE_PREFIXES) or path.suffix != ".cc":
+        return []
+    failures = []
+    i, n = 0, len(lines)
+    while i < n:
+        match = GENERATION_ENTRY_RE.search(
+            strip_comments_and_strings(lines[i]))
+        if not match:
+            i += 1
+            continue
+        # Walk the definition body by brace balance. The delegated marker
+        # is a comment, so it is checked against the raw line; it may also
+        # sit in the comment block directly above the signature.
+        name, start = match.group(1), i
+        depth, seen_open = 0, False
+        satisfied = any(GENERATION_DELEGATED_MARKER in l
+                        for l in lines[max(0, start - 3):start])
+        while i < n:
+            code = strip_comments_and_strings(lines[i])
+            if (GENERATION_BUMP_RE.search(code)
+                    or GENERATION_DELEGATED_MARKER in lines[i]):
+                satisfied = True
+            depth += code.count("{") - code.count("}")
+            seen_open = seen_open or "{" in code
+            if seen_open and depth <= 0:
+                break
+            i += 1
+        if not satisfied:
+            failures.append(Failure(
+                "generation-bump", f"{rel}:{start + 1}",
+                f"mutation entry point {name}() neither calls "
+                "BumpGenerationLocked nor carries a "
+                f"'{GENERATION_DELEGATED_MARKER}' marker — serve-layer "
+                "caches would keep answering from the pre-mutation world"))
+        i += 1
+    return failures
+
+
 def check_kernel_layering(path: Path, lines: list[str]) -> list[Failure]:
     rel = path.relative_to(REPO_ROOT).as_posix()
     if not rel.startswith("src/kernel/") or path.suffix != ".h":
@@ -235,6 +295,7 @@ def run_checks() -> list[Failure]:
         failures += check_epoch_zero(path, lines)
         failures += check_raw_std_sync(path, lines)
         failures += check_naked_alloc(path, lines)
+        failures += check_generation_bump(path, lines)
         failures += check_kernel_layering(path, lines)
     failures += check_bench_schema()
     return failures
@@ -245,6 +306,7 @@ def run_checks() -> list[Failure]:
 def self_test() -> int:
     """Feeds each rule a synthetic violation; fails if any rule is asleep."""
     fake = SRC / "kernel" / "fake.h"  # path only; never written to disk
+    fake_mutate = SRC / "mutate" / "fake.cc"
     cases = [
         ("epoch-zero bump without reset",
          lambda: check_epoch_zero(fake, ["++epoch_;", "touched_.clear();"])),
@@ -258,6 +320,11 @@ def self_test() -> int:
          lambda: check_naked_alloc(fake, ["void* p = malloc(64);"])),
         ("kernel-layering",
          lambda: check_kernel_layering(fake, ['#include "serve/frontend.h"'])),
+        ("generation-bump missing",
+         lambda: check_generation_bump(fake_mutate, [
+             "RankingId MutableStore::Insert(RankingView record) {",
+             "  delta_.store.AddUnchecked(record.items());",
+             "  return 0;", "}"])),
     ]
     negatives = [
         ("epoch-zero legal wrap", lambda: check_epoch_zero(fake, [
@@ -271,6 +338,20 @@ def self_test() -> int:
          lambda: check_naked_alloc(fake, ["renewed = true; news_count++;"])),
         ("kernel-layering core include",
          lambda: check_kernel_layering(fake, ['#include "core/types.h"'])),
+        ("generation-bump direct bump",
+         lambda: check_generation_bump(fake_mutate, [
+             "RankingId MutableStore::Insert(RankingView record) {",
+             "  delta_.store.AddUnchecked(record.items());",
+             "  BumpGenerationLocked();", "  return 0;", "}"])),
+        ("generation-bump delegated marker",
+         lambda: check_generation_bump(fake_mutate, [
+             "RankingId ShardedMutableStore::Insert(RankingView record) {",
+             "  // generation: delegated to the owning shard's Insert bump.",
+             "  return shards_[0]->Insert(record);", "}"])),
+        ("generation-bump non-mutating method",
+         lambda: check_generation_bump(fake_mutate, [
+             "bool MutableStore::Contains(RankingId id) const {",
+             "  return true;", "}"])),
     ]
     ok = True
     for name, check in cases:

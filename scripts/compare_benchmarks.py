@@ -42,7 +42,7 @@ import sys
 # identity) rather than a measurement.
 ID_INT_FIELDS = {
     "k", "n", "threads", "shards", "j", "queries", "schema_version",
-    "num_queries", "block", "batch_size",
+    "num_queries", "block", "batch_size", "delta", "inserts",
 }
 
 # Float fields that are sweep knobs, not measurements: without these in

@@ -21,10 +21,11 @@
 //
 // Locking: mutex_ serializes writers (concurrent Insert calls are safe).
 // Readers are lock-free and run in the query phase only — Insert must not
-// overlap queries; that reader/writer phase exclusion is the documented
-// epoch contract in DESIGN.md ("Locking order & epoch contracts") and the
-// thing the future fork-GC-style write path will replace with generation
-// swaps.
+// overlap queries. Used raw, that reader/writer phase exclusion is the
+// caller's obligation; the system's real write path (mutate/MutableStore)
+// discharges it by holding its store mutex across both mutations and
+// queries and swapping merged segments under a generation bump — see
+// DESIGN.md ("Locking order & epoch contracts").
 
 #ifndef TOPK_ADAPT_DELTA_INVERTED_INDEX_H_
 #define TOPK_ADAPT_DELTA_INVERTED_INDEX_H_
@@ -49,18 +50,37 @@ class DeltaInvertedIndex {
   // in an optional; the mutex is not state, so the moved-to object just
   // gets a fresh one. Moving is a build/handover-phase operation — never
   // legal concurrently with Insert or queries.
+  //
+  // The moved-from object is reset to the EMPTY state (k 0, nothing
+  // indexed, containers cleared) and is immediately reusable: the next
+  // Insert defines k afresh. MutableStore's merge seal leans on exactly
+  // this — it moves the active delta into the sealed segment and keeps
+  // inserting into the moved-from index. Leaving k_/num_indexed_ stale
+  // here (the pre-fix behavior) made a reused moved-from index
+  // double-count; adapt_delta_test pins the reset and the self-move
+  // guard.
   DeltaInvertedIndex(DeltaInvertedIndex&& other) noexcept
-      : k_(other.k_),
-        num_indexed_(other.num_indexed_),
+      : k_(std::exchange(other.k_, 0)),
+        num_indexed_(std::exchange(other.num_indexed_, 0)),
         order_(std::move(other.order_)),
         lists_(std::move(other.lists_)),
-        offsets_(std::move(other.offsets_)) {}
+        offsets_(std::move(other.offsets_)) {
+    // Moved-from std::vector contents are unspecified; pin the documented
+    // empty state explicitly.
+    other.order_.clear();
+    other.lists_.clear();
+    other.offsets_.clear();
+  }
   DeltaInvertedIndex& operator=(DeltaInvertedIndex&& other) noexcept {
-    k_ = other.k_;
-    num_indexed_ = other.num_indexed_;
+    if (this == &other) return *this;  // self-move: keep the index intact
+    k_ = std::exchange(other.k_, 0);
+    num_indexed_ = std::exchange(other.num_indexed_, 0);
     order_ = std::move(other.order_);
     lists_ = std::move(other.lists_);
     offsets_ = std::move(other.offsets_);
+    other.order_.clear();
+    other.lists_.clear();
+    other.offsets_.clear();
     return *this;
   }
   DeltaInvertedIndex(const DeltaInvertedIndex&) = delete;
@@ -89,6 +109,17 @@ class DeltaInvertedIndex {
   std::span<const AugmentedEntry> list(ItemId item) const {
     if (item >= lists_.size()) return {};
     return lists_[item];
+  }
+
+  /// Posting-list length for `item` (0 for items never indexed). This is
+  /// the accessor the kernel FilterPhase's list selection requires, so the
+  /// delta segment of a MutableStore runs through the exact same
+  /// filter/validate kernel as the main CSR arena. Lists are rank-major
+  /// (grouped by sorted position), NOT id-sorted, so the index deliberately
+  /// does not declare kIdSortedLists — FilterPhase must not take its
+  /// sorted-merge fast path here.
+  size_t list_length(ItemId item) const {
+    return item < lists_.size() ? lists_[item].size() : 0;
   }
 
   /// Global-order position of an item (lower = rarer = earlier in

@@ -1,0 +1,130 @@
+// ShardedMutableStore: the live-write counterpart of ShardedStore.
+//
+// N independent MutableStore shards behind one coordinator. Writes route
+// to their shard with the SAME placement function the static partitioner
+// uses (ShardPlacement in sharded_store.h), so a collection grown by
+// Insert() and a ShardedStore re-partitioned from the equivalent rebuilt
+// RankingStore place every ranking identically — the differential
+// contract tests/mutate_store_test.cc holds per strategy.
+//
+// Ids: the wrapper assigns dense global ids in insert order (never
+// reused), each shard assigns its own dense shard-local ids, and
+// shard_to_global_[s] is the strictly increasing local -> global map —
+// the exact invariant ShardedStore relies on for exact k-way merging, so
+// per-shard range results concatenate + sort into the global ascending
+// order and per-shard (distance, local-order) k-NN prefixes merge into
+// the global (distance, id) order.
+//
+// Locking order (DESIGN.md): the coordinator mutex_ here is ABOVE every
+// shard's store mutex — wrapper methods hold mutex_ while calling into a
+// shard, never the reverse. Each shard still runs its own background
+// merge worker (per shard_options.merge_threshold) entirely below the
+// coordinator: a merge swap takes only that shard's mutex, so it never
+// blocks writes or queries routed to other shards.
+//
+// Generations: mutations delegate the bump to the owning shard (the
+// wrapper's mutation entry points carry the lint marker
+// "generation: delegated"); generation() sums the shard generations, so
+// it is monotone across wrapper writes AND background merge swaps.
+// AddMutationListener fans the listener out to every shard.
+
+#ifndef TOPK_HARNESS_SHARDED_MUTABLE_STORE_H_
+#define TOPK_HARNESS_SHARDED_MUTABLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "core/thread_annotations.h"
+#include "core/types.h"
+#include "harness/sharded_store.h"
+#include "metric/knn.h"
+#include "mutate/mutable_store.h"
+
+namespace topk {
+
+class ShardedMutableStore {
+ public:
+  /// `num_shards` >= 1 empty shards of rankings of size `k`;
+  /// `shard_options` (e.g. merge_threshold for per-shard background
+  /// merge workers) applies to every shard.
+  ShardedMutableStore(uint32_t k, size_t num_shards,
+                      ShardingStrategy strategy,
+                      MutableStoreOptions shard_options = {});
+
+  ShardedMutableStore(const ShardedMutableStore&) = delete;
+  ShardedMutableStore& operator=(const ShardedMutableStore&) = delete;
+
+  uint32_t k() const { return k_; }
+  size_t num_shards() const { return shards_.size(); }
+  ShardingStrategy strategy() const { return strategy_; }
+
+  /// Read-only view of one shard (diagnostics/tests). Mutations must go
+  /// through the wrapper so the id maps stay consistent.
+  const MutableStore& shard(size_t s) const { return *shards_[s]; }
+
+  /// Appends one ranking, routed to ShardPlacement(strategy, id, N);
+  /// returns its wrapper-global id (dense, never reused).
+  RankingId Insert(RankingView record) TOPK_EXCLUDES(mutex_);
+
+  /// Tombstones wrapper-global `id` in its shard. False when never
+  /// assigned or already dead.
+  bool Delete(RankingId id) TOPK_EXCLUDES(mutex_);
+
+  /// Whether wrapper-global `id` is alive.
+  bool Contains(RankingId id) const TOPK_EXCLUDES(mutex_);
+
+  /// Exact fan-out over all shards; ascending wrapper-global ids —
+  /// bit-identical to an unsharded MutableStore (and to the rebuilt
+  /// store) over the same mutation stream.
+  std::vector<RankingId> RangeQuery(const PreparedQuery& query,
+                                    RawDistance theta_raw,
+                                    Statistics* stats = nullptr)
+      TOPK_EXCLUDES(mutex_);
+
+  /// Exact k-NN: per-shard top-j prefixes merged on (distance, global
+  /// id); exactly min(j, live_size()) entries.
+  std::vector<Neighbor> KnnQuery(const PreparedQuery& query, size_t j,
+                                 Statistics* stats = nullptr)
+      TOPK_EXCLUDES(mutex_);
+
+  /// Runs MergeNow on every shard (on the calling thread). Returns true
+  /// when any shard had something to merge.
+  bool MergeAllNow() TOPK_EXCLUDES(mutex_);
+
+  /// Registers `listener` with EVERY shard, so it fires on each
+  /// mutation wherever it lands (including background merge swaps).
+  void AddMutationListener(std::function<void()> listener)
+      TOPK_EXCLUDES(mutex_);
+
+  /// Sum of shard generations: monotone, bumps on every wrapper
+  /// mutation and every shard-local merge swap. Lock-free.
+  uint64_t generation() const;
+
+  size_t live_size() const TOPK_EXCLUDES(mutex_);
+  size_t total_inserted() const TOPK_EXCLUDES(mutex_);
+
+ private:
+  const uint32_t k_;
+  const ShardingStrategy strategy_;
+
+  /// Coordinator lock: keeps next_global_id_/shard_to_global_ consistent
+  /// with the shard contents across concurrent wrapper calls. Ordered
+  /// ABOVE every shard's store mutex.
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<MutableStore>> shards_;
+  /// Per shard: shard-local id -> wrapper-global id, strictly
+  /// increasing, append-only (rows merged away keep their entry — local
+  /// ids are never reused, so the map stays a function).
+  std::vector<std::vector<RankingId>> shard_to_global_
+      TOPK_GUARDED_BY(mutex_);
+  RankingId next_global_id_ TOPK_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_HARNESS_SHARDED_MUTABLE_STORE_H_

@@ -31,9 +31,7 @@ ShardedStore::ShardedStore(const RankingStore& store, size_t num_shards,
     global_ids_[s].reserve(size_ / num_shards + 1);
   }
   for (RankingId id = 0; id < store.size(); ++id) {
-    const size_t s = strategy == ShardingStrategy::kRoundRobin
-                         ? id % num_shards
-                         : MixId64(id) % num_shards;
+    const size_t s = ShardPlacement(strategy, id, num_shards);
     shards_[s].AddUnchecked(store.view(id).items());
     global_ids_[s].push_back(id);
   }

@@ -41,6 +41,18 @@ enum class ShardingStrategy {
 
 const char* ShardingStrategyName(ShardingStrategy strategy);
 
+/// Shard index for global ranking `id` under `strategy`. This is THE
+/// placement function: the static ShardedStore partitioner and the live
+/// ShardedMutableStore write router both call it, so a collection grown
+/// by inserts and one re-partitioned from scratch place every id on the
+/// same shard.
+inline size_t ShardPlacement(ShardingStrategy strategy, RankingId id,
+                             size_t num_shards) {
+  return strategy == ShardingStrategy::kRoundRobin
+             ? id % num_shards
+             : MixId64(id) % num_shards;
+}
+
 class ShardedStore {
  public:
   /// Copies `store` into `num_shards` shards (num_shards >= 1; shards may

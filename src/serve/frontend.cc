@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/mutex.h"
+#include "mutate/mutable_store.h"
 
 namespace topk {
 
@@ -56,6 +57,13 @@ void QueryFrontend::PrepareEngines(Algorithm algorithm) {
 void QueryFrontend::Prepare(Algorithm algorithm) {
   MutexLock lock(&serve_mutex_);
   PrepareLocked(algorithm);
+}
+
+void QueryFrontend::WatchStore(MutableStore* store) {
+  // The listener body is an atomic epoch bump only — cheap, lock-free,
+  // and legal under the store mutex (no lock ordered above the store is
+  // taken; the hierarchy in DESIGN.md stays intact).
+  store->AddMutationListener([this] { InvalidateCaches(); });
 }
 
 void QueryFrontend::PrepareLocked(Algorithm algorithm) {

@@ -75,6 +75,8 @@
 
 namespace topk {
 
+class MutableStore;
+
 /// One query in a serving batch. `query` must outlive the ServeBatch call
 /// (requests reference workload-owned PreparedQuery objects; copying the
 /// prepared views per request would dominate small-query serving).
@@ -178,6 +180,16 @@ class QueryFrontend {
   void InvalidateCaches() {
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
+
+  /// Subscribes this frontend's cache invalidation to every mutation of
+  /// `store` (insert, delete, merge swap): the registered listener calls
+  /// InvalidateCaches() under the store's mutex, so the epoch bump is
+  /// atomic with the write — a cached answer can never be served across
+  /// a mutation it predates. The frontend must outlive the store (the
+  /// store holds a raw back-pointer through the listener); the caveat
+  /// above still applies — this keeps the *caches* honest, while the
+  /// engines keep binding their Prepare-time snapshot.
+  void WatchStore(MutableStore* store) TOPK_EXCLUDES(serve_mutex_);
 
  private:
   struct Executor {

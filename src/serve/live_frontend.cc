@@ -1,0 +1,49 @@
+#include "serve/live_frontend.h"
+
+#include <utility>
+
+namespace topk {
+
+LiveFrontend::LiveFrontend(MutableStore* store, LiveFrontendOptions options)
+    : store_(store),
+      options_(options),
+      result_cache_(options.result_cache_capacity, options.cache_shards) {
+  if (options_.wire_invalidation) {
+    store_->AddMutationListener([this] { InvalidateCaches(); });
+  }
+}
+
+std::vector<RankingId> LiveFrontend::ServeRange(const PreparedQuery& query,
+                                                RawDistance theta_raw,
+                                                Statistics* stats) {
+  // Epoch read FIRST: a mutation racing this call bumps after our read,
+  // so the insert below lands under an already-dead epoch (see header).
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  std::vector<RankingId> out;
+  if (result_cache_.enabled()) {
+    const ResultCacheKey key = MakeResultCacheKey(
+        ServeKind::kRange, kLiveAlgorithm, theta_raw, query);
+    if (result_cache_.LookupRange(key, epoch, &out, stats)) return out;
+    out = store_->RangeQuery(query, theta_raw, stats);
+    result_cache_.InsertRange(key, epoch, out, stats);
+    return out;
+  }
+  return store_->RangeQuery(query, theta_raw, stats);
+}
+
+std::vector<Neighbor> LiveFrontend::ServeKnn(const PreparedQuery& query,
+                                             size_t j, Statistics* stats) {
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  std::vector<Neighbor> out;
+  if (result_cache_.enabled()) {
+    const ResultCacheKey key =
+        MakeResultCacheKey(ServeKind::kKnn, kLiveAlgorithm, j, query);
+    if (result_cache_.LookupKnn(key, epoch, &out, stats)) return out;
+    out = store_->KnnQuery(query, j, stats);
+    result_cache_.InsertKnn(key, epoch, out, stats);
+    return out;
+  }
+  return store_->KnnQuery(query, j, stats);
+}
+
+}  // namespace topk

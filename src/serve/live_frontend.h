@@ -1,0 +1,97 @@
+// LiveFrontend: exact result caching over the live write path.
+//
+// QueryFrontend binds an immutable RankingStore snapshot at Prepare
+// time, so it cannot sit on a store that mutates. LiveFrontend is the
+// serving adapter for mutate/MutableStore: the same epoch-stamped exact
+// ResultCache, but every answer is computed by the store itself (which
+// is always current) and every mutation invalidates the cache through
+// the store's mutation listener.
+//
+// Exactness under concurrency: ServeRange/ServeKnn read the epoch
+// BEFORE the cache lookup and insert the computed answer under that same
+// epoch. A mutation that lands after the read bumps the epoch under the
+// store mutex — before the store could have answered the query — so a
+// stale answer is inserted under an epoch that is already dead and can
+// never be served. The served answer therefore always equals the store's
+// answer at some point inside the call (linearizable), and an identical
+// re-issued query after any mutation recomputes.
+//
+// The options_.wire_invalidation seam exists for the regression test
+// that reproduces the pre-PR bug (caches serving answers that predate a
+// write): with wiring off, serve_frontend_test shows the stale hit; with
+// the default wiring on, the same sequence returns fresh answers.
+//
+// Thread safety: no mutex of its own — the cache is internally
+// synchronized, the epoch is atomic, and the store serializes its own
+// queries. Calls may race mutations arbitrarily (TSan-checked).
+
+#ifndef TOPK_SERVE_LIVE_FRONTEND_H_
+#define TOPK_SERVE_LIVE_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/statistics.h"
+#include "core/types.h"
+#include "metric/knn.h"
+#include "mutate/mutable_store.h"
+#include "serve/fingerprint.h"
+#include "serve/result_cache.h"
+
+namespace topk {
+
+struct LiveFrontendOptions {
+  /// Entry budget per answer kind; 0 disables caching.
+  size_t result_cache_capacity = 64 * 1024;
+  /// Lock shards for the cache (clamped to capacity).
+  size_t cache_shards = 8;
+  /// When true (the default, and the satellite bugfix), the constructor
+  /// registers a mutation listener on the store so every Insert/Delete/
+  /// merge swap bumps the epoch. False reproduces the unwired pre-PR
+  /// behavior for the stale-hit regression test — never use in
+  /// production.
+  bool wire_invalidation = true;
+};
+
+class LiveFrontend {
+ public:
+  /// The cache-key algorithm slot for live-store answers. The store is
+  /// engine-agnostic (one exact kernel), so a sentinel outside the
+  /// Algorithm enum keeps live entries disjoint from any QueryFrontend
+  /// sharing a key scheme.
+  static constexpr uint32_t kLiveAlgorithm = 0xFFFFFFFFu;
+
+  /// `store` must outlive the frontend. With wiring on, the frontend
+  /// must also outlive the store's last mutation (the listener holds a
+  /// raw back-pointer); destroy store-then-frontend.
+  explicit LiveFrontend(MutableStore* store, LiveFrontendOptions options = {});
+
+  MutableStore& store() { return *store_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  size_t result_cache_size() const { return result_cache_.size(); }
+
+  /// Exact range answer (ascending global ids), from cache when the
+  /// identical query+theta was served in the current epoch.
+  std::vector<RankingId> ServeRange(const PreparedQuery& query,
+                                    RawDistance theta_raw,
+                                    Statistics* stats = nullptr);
+
+  /// Exact k-NN answer ((distance, id) ascending, min(j, live) entries).
+  std::vector<Neighbor> ServeKnn(const PreparedQuery& query, size_t j,
+                                 Statistics* stats = nullptr);
+
+  /// Generation bump: every cached entry becomes unservable. Thread-safe;
+  /// this is what the store's mutation listener calls.
+  void InvalidateCaches() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  MutableStore* store_;
+  LiveFrontendOptions options_;
+  ResultCache result_cache_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SERVE_LIVE_FRONTEND_H_

@@ -7,8 +7,10 @@
 // first-seen order); that moves scan cost, never results, and this test
 // is what holds that claim.
 
+#include <cstddef>
 #include <cstdint>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +20,7 @@
 #include "core/bounds.h"
 #include "core/ranking.h"
 #include "data/dataset_stats.h"
+#include "mutate/mutable_store.h"
 #include "test_util.h"
 
 namespace topk {
@@ -154,6 +157,160 @@ TEST(DeltaInsertTest, FirstInsertDefinesK) {
     EXPECT_EQ(engine.Query(query, theta_raw),
               testutil::BruteForce(growing, query, theta_raw));
   }
+}
+
+// Regression for the move-semantics bug: moved-from k_/num_indexed_
+// stayed stale, so reusing a moved-from index double-counted. The fixed
+// contract is "moved-from == empty, immediately reusable" — exactly what
+// MutableStore's merge seal relies on.
+TEST(DeltaMoveTest, MoveResetsSourceToEmptyAndReusable) {
+  constexpr uint32_t kK = 4;
+  const RankingStore source = testutil::MakeUniformStore(kK, 80, 120, 961);
+
+  RankingStore first(kK);
+  DeltaInvertedIndex index;
+  for (RankingId id = 0; id < 40; ++id) {
+    const RankingView record = source.view(id);
+    first.AddUnchecked({record.items().data(), record.items().size()});
+    index.Insert(id, record);
+  }
+
+  DeltaInvertedIndex taken = std::move(index);
+  EXPECT_EQ(taken.k(), kK);
+  EXPECT_EQ(taken.num_indexed(), 40u);
+  CheckStructure(taken, first);
+  // Pre-fix these held the stale values (kK / 40) and the reuse below
+  // tripped the dense-id invariant.
+  EXPECT_EQ(index.k(), 0u);
+  EXPECT_EQ(index.num_indexed(), 0u);
+  EXPECT_EQ(index.list(first.view(0).items()[0]).size(), 0u);
+
+  // Reuse the moved-from index from scratch over a different record set:
+  // it must behave exactly like a fresh one.
+  RankingStore second(kK);
+  for (RankingId id = 0; id < 40; ++id) {
+    const RankingView record = source.view(40 + id);
+    second.AddUnchecked({record.items().data(), record.items().size()});
+    index.Insert(id, record);
+  }
+  CheckStructure(index, second);
+  AdaptSearchEngine engine(&second, &index);
+  const auto queries = testutil::MakeQueries(second, 10, 962);
+  const RawDistance theta_raw = RawThreshold(0.1, kK);
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(engine.Query(query, theta_raw),
+              testutil::BruteForce(second, query, theta_raw));
+  }
+
+  // Move-assignment resets the source the same way.
+  DeltaInvertedIndex target;
+  target = std::move(taken);
+  EXPECT_EQ(target.num_indexed(), 40u);
+  EXPECT_EQ(taken.k(), 0u);
+  EXPECT_EQ(taken.num_indexed(), 0u);
+  CheckStructure(target, first);
+}
+
+TEST(DeltaMoveTest, SelfMoveAssignIsNoOp) {
+  constexpr uint32_t kK = 5;
+  const RankingStore source = testutil::MakeUniformStore(kK, 30, 60, 971);
+  RankingStore store(kK);
+  DeltaInvertedIndex index;
+  for (RankingId id = 0; id < 30; ++id) {
+    const RankingView record = source.view(id);
+    store.AddUnchecked({record.items().data(), record.items().size()});
+    index.Insert(id, record);
+  }
+  // Through a pointer so the self-move is invisible to -Wself-move; the
+  // pre-fix code zeroed k_/num_indexed_ and left the containers in
+  // exchange-then-move shambles here.
+  DeltaInvertedIndex* alias = &index;
+  index = std::move(*alias);
+  EXPECT_EQ(index.k(), kK);
+  EXPECT_EQ(index.num_indexed(), 30u);
+  CheckStructure(index, store);
+}
+
+// Satellite coverage: interleaved insert/delete/query streams against a
+// rebuilt-from-scratch store, bit-exact at every step — driven through
+// MutableStore, whose delta segment is this index (deletes live at the
+// store layer; the raw index is append-only by design). The same-range
+// delete-then-reinsert case gets fresh ids and fresh delta rows.
+TEST(DeltaWritePathTest, InterleavedInsertDeleteQueryMatchesRebuild) {
+  constexpr uint32_t kK = 6;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 360, 981);
+  const auto queries = testutil::MakeQueries(source, 8, 982);
+  const RawDistance thetas[] = {RawThreshold(0.05, kK),
+                                RawThreshold(0.25, kK)};
+
+  MutableStore store(kK);
+  // Shadow of alive rows: global id -> items, replayed into the oracle.
+  std::vector<std::pair<RankingId, std::vector<ItemId>>> alive;
+  RankingId next = 0;
+  const auto insert_row = [&](RankingId source_row) {
+    const RankingView record = source.view(source_row);
+    const RankingId id = store.Insert(record);
+    ASSERT_EQ(id, next++);
+    alive.emplace_back(id, std::vector<ItemId>(record.items().begin(),
+                                               record.items().end()));
+  };
+  const auto check_step = [&](const char* where) {
+    RankingStore rebuilt(kK);
+    std::vector<RankingId> globals;
+    for (const auto& [id, items] : alive) {
+      rebuilt.AddUnchecked(items);
+      globals.push_back(id);
+    }
+    ASSERT_EQ(store.live_size(), alive.size()) << where;
+    for (const RawDistance theta_raw : thetas) {
+      for (const PreparedQuery& query : queries) {
+        std::vector<RankingId> expected =
+            testutil::BruteForce(rebuilt, query, theta_raw);
+        for (RankingId& id : expected) id = globals[id];
+        EXPECT_EQ(store.RangeQuery(query, theta_raw), expected)
+            << where << " theta_raw=" << theta_raw;
+      }
+    }
+  };
+
+  for (RankingId row = 0; row < 120; ++row) insert_row(row);
+  check_step("grown");
+
+  // Delete every third row (a mid-stream hole), query, then merge.
+  for (size_t i = alive.size(); i-- > 0;) {
+    if (i % 3 == 1) {
+      ASSERT_TRUE(store.Delete(alive[i].first));
+      alive.erase(alive.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+  check_step("holes");
+  store.MergeNow();
+  check_step("holes-merged");
+
+  // Delete-then-reinsert of the same id range: remove rows 0..39, then
+  // reinsert the same source rows — they come back under fresh ids.
+  for (size_t i = alive.size(); i-- > 0;) {
+    if (alive[i].first < 40) {
+      ASSERT_TRUE(store.Delete(alive[i].first));
+      alive.erase(alive.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+  check_step("range-deleted");
+  for (RankingId row = 0; row < 40; ++row) insert_row(row);
+  check_step("range-reinserted");
+  store.MergeNow();
+  check_step("range-reinserted-merged");
+
+  // Keep interleaving past the merge.
+  for (RankingId row = 120; row < 360; ++row) {
+    insert_row(row);
+    if (row % 4 == 2) {
+      ASSERT_TRUE(store.Delete(alive[alive.size() / 2].first));
+      alive.erase(alive.begin() +
+                  static_cast<ptrdiff_t>(alive.size() / 2));
+    }
+  }
+  check_step("final");
 }
 
 }  // namespace

@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "metric/knn.h"
+#include "mutate/mutable_store.h"
 #include "serve/frontend.h"
+#include "serve/live_frontend.h"
 #include "serve/lru_cache.h"
 #include "test_util.h"
 
@@ -435,6 +439,143 @@ TEST_F(ServeFrontendTest, ConcurrentServeBatchCallersSerializeSafely) {
   caller();
   other.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- Live mutability: caches must flip atomically with the store. ----
+
+// The satellite bug, reproduced: with invalidation unwired (the pre-PR
+// state — nothing bumped the serve generation on a write), a cached
+// answer keeps being served after an insert that changed the truth.
+TEST(LiveFrontendTest, UnwiredCacheServesStaleHitAfterInsert) {
+  constexpr uint32_t kK = 5;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 80, 1101);
+  MutableStore store(kK);
+  for (RankingId id = 0; id < 60; ++id) {
+    store.Insert(source.view(id));
+  }
+  LiveFrontendOptions options;
+  options.wire_invalidation = false;  // the bug seam
+  LiveFrontend frontend(&store, options);
+
+  // A query whose answer the next insert changes: the query IS row 60,
+  // so inserting row 60 adds a distance-0 member.
+  const PreparedQuery query(
+      std::move(Ranking::Create({source.view(60).items().begin(),
+                                 source.view(60).items().end()}))
+          .ValueOrDie());
+  const RawDistance theta_raw = RawThreshold(0.2, kK);
+  const std::vector<RankingId> before =
+      frontend.ServeRange(query, theta_raw);  // populates the cache
+  const uint64_t epoch_before = frontend.epoch();
+
+  store.Insert(source.view(60));  // mutation; unwired -> no epoch bump
+  EXPECT_EQ(frontend.epoch(), epoch_before);
+
+  const std::vector<RankingId> truth = store.RangeQuery(query, theta_raw);
+  ASSERT_NE(truth, before) << "insert must change this answer";
+  // The stale hit: the cache still serves the pre-insert answer.
+  EXPECT_EQ(frontend.ServeRange(query, theta_raw), before);
+  EXPECT_NE(frontend.ServeRange(query, theta_raw), truth);
+}
+
+// The fix: default wiring registers the mutation listener, every write
+// bumps the epoch under the store mutex, and the same sequence serves
+// fresh answers.
+TEST(LiveFrontendTest, WiredCacheServesFreshAfterEveryMutation) {
+  constexpr uint32_t kK = 5;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 80, 1101);
+  MutableStore store(kK);
+  for (RankingId id = 0; id < 60; ++id) {
+    store.Insert(source.view(id));
+  }
+  LiveFrontend frontend(&store, {});  // wire_invalidation = true
+
+  const PreparedQuery query(
+      std::move(Ranking::Create({source.view(60).items().begin(),
+                                 source.view(60).items().end()}))
+          .ValueOrDie());
+  const RawDistance theta_raw = RawThreshold(0.2, kK);
+  const std::vector<RankingId> before =
+      frontend.ServeRange(query, theta_raw);
+  const std::vector<Neighbor> knn_before = frontend.ServeKnn(query, 5);
+  const uint64_t epoch0 = frontend.epoch();
+
+  const RankingId added = store.Insert(source.view(60));
+  EXPECT_GT(frontend.epoch(), epoch0);  // listener fired
+  const std::vector<RankingId> after = frontend.ServeRange(query, theta_raw);
+  EXPECT_EQ(after, store.RangeQuery(query, theta_raw));
+  EXPECT_NE(after, before);
+  EXPECT_EQ(frontend.ServeKnn(query, 5), store.KnnQuery(query, 5));
+  EXPECT_NE(frontend.ServeKnn(query, 5), knn_before);
+
+  // Delete and merge invalidate too (the merge via the swap's bump).
+  const uint64_t epoch1 = frontend.epoch();
+  EXPECT_TRUE(store.Delete(added));
+  EXPECT_GT(frontend.epoch(), epoch1);
+  EXPECT_EQ(frontend.ServeRange(query, theta_raw), before);
+  const uint64_t epoch2 = frontend.epoch();
+  EXPECT_TRUE(store.MergeNow());
+  EXPECT_GT(frontend.epoch(), epoch2);
+  EXPECT_EQ(frontend.ServeRange(query, theta_raw),
+            store.RangeQuery(query, theta_raw));
+  // Repeat hit within a quiet generation stays exact (and cached).
+  EXPECT_EQ(frontend.ServeRange(query, theta_raw),
+            frontend.ServeRange(query, theta_raw));
+}
+
+// QueryFrontend::WatchStore: the batched frontend's epoch follows store
+// mutations the same way.
+TEST(LiveFrontendTest, WatchStoreBumpsQueryFrontendEpoch) {
+  constexpr uint32_t kK = 5;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 40, 1111);
+  QueryFrontend frontend(&source);
+  MutableStore store(source);
+  frontend.WatchStore(&store);
+
+  const uint64_t epoch0 = frontend.epoch();
+  store.Insert(source.view(0));
+  EXPECT_EQ(frontend.epoch(), epoch0 + 1);
+  EXPECT_TRUE(store.Delete(0));
+  EXPECT_EQ(frontend.epoch(), epoch0 + 2);
+  EXPECT_TRUE(store.MergeNow());
+  EXPECT_EQ(frontend.epoch(), epoch0 + 3);
+  EXPECT_FALSE(store.Delete(0));  // failed mutation: no bump
+  EXPECT_EQ(frontend.epoch(), epoch0 + 3);
+}
+
+// TSan target: readers serving through the cache race writers mutating
+// the store; every served answer must match the store at some point
+// inside the call window (checked structurally live, exactly after).
+TEST(LiveFrontendTest, ConcurrentServeAndMutateStaysExact) {
+  constexpr uint32_t kK = 5;
+  const RankingStore source = testutil::MakeClusteredStore(kK, 300, 1121);
+  const auto queries = testutil::MakeQueries(source, 4, 1122);
+  MutableStoreOptions store_options;
+  store_options.merge_threshold = 32;
+  MutableStore store(kK, store_options);
+  LiveFrontend frontend(&store, {});
+  const RawDistance theta_raw = RawThreshold(0.2, kK);
+
+  std::thread writer([&] {
+    for (RankingId id = 0; id < 200; ++id) {
+      store.Insert(source.view(id));
+      if (id % 3 == 2) store.Delete(id - 1);
+    }
+  });
+  for (int round = 0; round < 40; ++round) {
+    for (const PreparedQuery& query : queries) {
+      const std::vector<RankingId> ids = frontend.ServeRange(query, theta_raw);
+      EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+      EXPECT_LE(frontend.ServeKnn(query, 6).size(), 6u);
+    }
+  }
+  writer.join();
+  store.MergeNow();
+  for (const PreparedQuery& query : queries) {
+    EXPECT_EQ(frontend.ServeRange(query, theta_raw),
+              store.RangeQuery(query, theta_raw));
+    EXPECT_EQ(frontend.ServeKnn(query, 6), store.KnnQuery(query, 6));
+  }
 }
 
 }  // namespace
