@@ -34,6 +34,7 @@
 #include "kernel_bench.h"
 #include "mutability_bench.h"
 #include "parallel_util.h"
+#include "storage_bench.h"
 
 namespace topk {
 namespace {
@@ -354,6 +355,7 @@ int Run(int argc, char** argv) {
   EmitQueryLatency(&json, args, datasets);
   EmitParallelScaling(&json, args, datasets);
   bench::EmitMutabilitySection(&json, args);
+  bench::EmitStorageSection(&json, args);
 
   json.EndObject();
   out << "\n";

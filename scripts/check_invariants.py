@@ -26,6 +26,13 @@ Checks (each is a named rule; any violation exits non-zero):
                   the two leaf invidx headers (drop_policy.h,
                   visited_set.h). Kernels are the bottom layer; an engine
                   include would invert the dependency stack.
+  decode-noalloc  Decode* function bodies in src/storage/ may not allocate
+                  (push_back / resize / new / malloc-family): decode runs
+                  in the per-block query hot loop against caller-owned
+                  scratch, and a hidden allocation there is a per-query
+                  heap churn regression the benches would only catch
+                  later. Deliberate scratch setup is exempted line-by-line
+                  with an `// alloc-ok: <why>` marker.
   generation-bump every live-store mutation entry point (Insert / Delete /
                   InstallMergedLocked in src/mutate/ and the sharded
                   router) must bump the store generation via
@@ -83,10 +90,12 @@ BENCH_REQUIRED_SECTIONS = {
     "BENCH_baseline.json": [
         "schema_version", "meta", "footrule_kernel", "kernel", "simd",
         "index_build", "query_latency", "parallel_scaling", "mutability",
+        "storage",
     ],
     "BENCH_parallel.json": ["schema_version", "hardware_concurrency", "rows"],
     "BENCH_serving.json": ["schema_version", "hardware_concurrency", "rows"],
     "BENCH_mutability.json": ["schema_version", "mutability"],
+    "BENCH_storage.json": ["schema_version", "storage"],
 }
 
 # generation-bump -----------------------------------------------------------
@@ -100,6 +109,16 @@ GENERATION_ENTRY_RE = re.compile(
     r"\b\w+::(Insert|Delete|InstallMergedLocked)\s*\(")
 GENERATION_BUMP_RE = re.compile(r"\bBumpGenerationLocked\s*\(")
 GENERATION_DELEGATED_MARKER = "generation: delegated"
+
+# decode-noalloc ------------------------------------------------------------
+
+# A Decode* definition starts at column 0 (calls sit indented; the tree is
+# clang-formatted, so definitions never are).
+DECODE_DEF_RE = re.compile(r"^[^\s/].*\bDecode\w*\s*\(")
+DECODE_ALLOC_RE = re.compile(
+    r"\b(?:push_back|emplace_back|emplace|resize|reserve|insert|assign)\s*\("
+    r"|\bnew\b|\b(?:malloc|calloc|realloc)\s*\(")
+DECODE_ALLOC_OK_MARKER = "alloc-ok:"
 
 # kernel-layering -----------------------------------------------------------
 
@@ -266,6 +285,41 @@ def check_generation_bump(path: Path, lines: list[str]) -> list[Failure]:
     return failures
 
 
+def check_decode_noalloc(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if not rel.startswith("src/storage/"):
+        return []
+    failures = []
+    i, n = 0, len(lines)
+    while i < n:
+        if not DECODE_DEF_RE.match(strip_comments_and_strings(lines[i])):
+            i += 1
+            continue
+        # Walk the definition body by brace balance; the signature may
+        # span lines before the opening brace.
+        start = i
+        depth, seen_open = 0, False
+        while i < n:
+            code = strip_comments_and_strings(lines[i])
+            if (seen_open and DECODE_ALLOC_RE.search(code)
+                    and DECODE_ALLOC_OK_MARKER not in lines[i]):
+                failures.append(Failure(
+                    "decode-noalloc", f"{rel}:{i + 1}",
+                    "allocation inside a Decode* body (started at line "
+                    f"{start + 1}) — decode runs in the per-block query hot "
+                    "loop; mark deliberate scratch setup with "
+                    f"'// {DECODE_ALLOC_OK_MARKER} <why>'"))
+            depth += code.count("{") - code.count("}")
+            seen_open = seen_open or "{" in code
+            if seen_open and depth <= 0:
+                break
+            if not seen_open and ";" in code:
+                break  # declaration, not a definition
+            i += 1
+        i += 1
+    return failures
+
+
 def check_kernel_layering(path: Path, lines: list[str]) -> list[Failure]:
     rel = path.relative_to(REPO_ROOT).as_posix()
     if not rel.startswith("src/kernel/") or path.suffix != ".h":
@@ -297,6 +351,7 @@ def run_checks() -> list[Failure]:
         failures += check_naked_alloc(path, lines)
         failures += check_generation_bump(path, lines)
         failures += check_kernel_layering(path, lines)
+        failures += check_decode_noalloc(path, lines)
     failures += check_bench_schema()
     return failures
 
@@ -307,6 +362,7 @@ def self_test() -> int:
     """Feeds each rule a synthetic violation; fails if any rule is asleep."""
     fake = SRC / "kernel" / "fake.h"  # path only; never written to disk
     fake_mutate = SRC / "mutate" / "fake.cc"
+    fake_storage = SRC / "storage" / "fake.cc"
     cases = [
         ("epoch-zero bump without reset",
          lambda: check_epoch_zero(fake, ["++epoch_;", "touched_.clear();"])),
@@ -325,6 +381,11 @@ def self_test() -> int:
              "RankingId MutableStore::Insert(RankingView record) {",
              "  delta_.store.AddUnchecked(record.items());",
              "  return 0;", "}"])),
+        ("decode-noalloc push_back in hot loop",
+         lambda: check_decode_noalloc(fake_storage, [
+             "const uint8_t* DecodeBlock(std::vector<int>* out) {",
+             "  for (int i = 0; i < 4; ++i) out->push_back(i);",
+             "  return nullptr;", "}"])),
     ]
     negatives = [
         ("epoch-zero legal wrap", lambda: check_epoch_zero(fake, [
@@ -352,6 +413,23 @@ def self_test() -> int:
          lambda: check_generation_bump(fake_mutate, [
              "bool MutableStore::Contains(RankingId id) const {",
              "  return true;", "}"])),
+        ("decode-noalloc marked scratch setup",
+         lambda: check_decode_noalloc(fake_storage, [
+             "const uint8_t* DecodeList(std::vector<int>* scratch) {",
+             "  scratch->resize(8);  // alloc-ok: grow-only scratch setup",
+             "  return nullptr;", "}"])),
+        ("decode-noalloc alloc outside a Decode body",
+         lambda: check_decode_noalloc(fake_storage, [
+             "void BuildArena(std::vector<int>* out) {",
+             "  out->push_back(1);", "}"])),
+        ("decode-noalloc declaration only",
+         lambda: check_decode_noalloc(fake_storage, [
+             "const uint8_t* DecodeBlock(std::vector<int>* out);",
+             "void Other() { out->push_back(1); }"])),
+        ("decode-noalloc clean body",
+         lambda: check_decode_noalloc(fake_storage, [
+             "const uint8_t* DecodeBlock(uint32_t* out) {",
+             "  *out = 1;", "  return nullptr;", "}"])),
     ]
     ok = True
     for name, check in cases:

@@ -43,6 +43,7 @@ import sys
 ID_INT_FIELDS = {
     "k", "n", "threads", "shards", "j", "queries", "schema_version",
     "num_queries", "block", "batch_size", "delta", "inserts",
+    "block_entries",
 }
 
 # Float fields that are sweep knobs, not measurements: without these in

@@ -2,20 +2,22 @@
 # Builds (Release) and runs the bench_baseline binary, emitting the
 # machine-readable benchmark baseline every perf PR measures against,
 # then the bench_parallel scaling study (BENCH_parallel.json next to it),
-# the bench_serving cache study (BENCH_serving.json), and the
-# bench_mutability write-path study (BENCH_mutability.json). Each fresh
+# the bench_serving cache study (BENCH_serving.json), the
+# bench_mutability write-path study (BENCH_mutability.json), and the
+# bench_storage compressed-tier study (BENCH_storage.json). Each fresh
 # artifact is diffed against the committed copy (HEAD) via
 # scripts/compare_benchmarks.py, so a run prints its own perf trajectory.
 #
 # Usage:
 #   scripts/run_benchmarks.sh                 # CI-scale run -> BENCH_baseline.json
 #                                             # + BENCH_parallel.json + BENCH_serving.json
-#                                             # + BENCH_mutability.json
+#                                             # + BENCH_mutability.json + BENCH_storage.json
 #   scripts/run_benchmarks.sh --full          # paper-scale collection sizes
 #   OUT=my.json BUILD_DIR=build-rel scripts/run_benchmarks.sh --queries=500
 #   PARALLEL_OUT= scripts/run_benchmarks.sh   # skip the parallel study
 #   SERVING_OUT= scripts/run_benchmarks.sh    # skip the serving study
 #   MUTABILITY_OUT= scripts/run_benchmarks.sh # skip the mutability study
+#   STORAGE_OUT= scripts/run_benchmarks.sh    # skip the storage study
 #   MARCH=x86-64-v3 scripts/run_benchmarks.sh # compile the bench build for
 #                                             # that -march so the TOPK_SIMD
 #                                             # kernel paths dispatch to a
@@ -39,6 +41,7 @@ OUT=${OUT:-BENCH_baseline.json}
 PARALLEL_OUT=${PARALLEL_OUT-BENCH_parallel.json}
 SERVING_OUT=${SERVING_OUT-BENCH_serving.json}
 MUTABILITY_OUT=${MUTABILITY_OUT-BENCH_mutability.json}
+STORAGE_OUT=${STORAGE_OUT-BENCH_storage.json}
 
 # Prints per-section deltas of a fresh artifact against the copy
 # committed at HEAD (informational; skipped when python3/git/the
@@ -76,7 +79,8 @@ MARCH=${MARCH:-}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE= \
   ${MARCH:+"-DCMAKE_CXX_FLAGS=-march=$MARCH"}
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_baseline bench_parallel bench_serving bench_mutability
+  --target bench_baseline bench_parallel bench_serving bench_mutability \
+  bench_storage
 
 # ${arr[@]+...} keeps the empty-array expansion safe under set -u on
 # bash < 4.4 (macOS ships 3.2).
@@ -104,4 +108,11 @@ if [[ -n "$MUTABILITY_OUT" ]]; then
     ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$MUTABILITY_OUT"
   echo "mutability study written to $MUTABILITY_OUT"
   compare_against_committed BENCH_mutability.json "$MUTABILITY_OUT"
+fi
+
+if [[ -n "$STORAGE_OUT" ]]; then
+  "$BUILD_DIR/bench/bench_storage" \
+    ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$STORAGE_OUT"
+  echo "storage study written to $STORAGE_OUT"
+  compare_against_committed BENCH_storage.json "$STORAGE_OUT"
 fi

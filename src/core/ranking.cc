@@ -45,7 +45,23 @@ SortedRanking::SortedRanking(RankingView view) {
   }
 }
 
+RankingStore RankingStore::AdoptExternal(uint32_t k, size_t n,
+                                         ItemId max_item,
+                                         const ItemId* items,
+                                         const ItemId* sorted_items,
+                                         const Rank* sorted_ranks) {
+  RankingStore store(k);
+  store.size_ = n;
+  store.max_item_ = max_item;
+  store.external_ = true;
+  store.ext_items_ = items;
+  store.ext_sorted_items_ = sorted_items;
+  store.ext_sorted_ranks_ = sorted_ranks;
+  return store;
+}
+
 Result<RankingId> RankingStore::Add(std::span<const ItemId> items) {
+  TOPK_DCHECK(!external_);
   if (items.size() != k_) {
     return Status::InvalidArgument(
         "ranking size " + std::to_string(items.size()) +
@@ -59,6 +75,7 @@ Result<RankingId> RankingStore::Add(std::span<const ItemId> items) {
 }
 
 RankingId RankingStore::AddUnchecked(std::span<const ItemId> items) {
+  TOPK_DCHECK(!external_);
   TOPK_DCHECK(items.size() == k_);
   TOPK_DCHECK(!HasDuplicates(items));
   AppendRow(items);

@@ -137,9 +137,29 @@ uint64_t SequenceFingerprint(std::span<const ItemId> items);
 uint64_t ItemSetFingerprint(std::span<const ItemId> items);
 
 /// Contiguous storage for a collection of equal-size rankings.
+///
+/// Two storage modes share one read interface: the default *owned* mode
+/// holds the three column arrays in vectors and accepts Add(); the
+/// *external* mode (AdoptExternal) wraps caller-owned immutable memory —
+/// an mmap'd snapshot section (storage/snapshot.h) — so a collection
+/// loads zero-copy and pages on demand. External stores are frozen:
+/// Add/AddUnchecked on them is a contract violation (debug-checked).
 class RankingStore {
  public:
   explicit RankingStore(uint32_t k) : k_(k) { TOPK_DCHECK(k > 0); }
+
+  /// Wraps externally owned column arrays (each `n * k` elements, laid
+  /// out exactly as the owned vectors would be). The backing memory must
+  /// outlive the store; the caller vouches for the rows being valid
+  /// rankings with items <= max_item (the snapshot loader's checksums
+  /// stand in for the Add-path validation).
+  static RankingStore AdoptExternal(uint32_t k, size_t n, ItemId max_item,
+                                    const ItemId* items,
+                                    const ItemId* sorted_items,
+                                    const Rank* sorted_ranks);
+
+  /// Whether this store wraps external (frozen, typically mmap'd) memory.
+  bool external() const { return external_; }
 
   /// Appends a ranking; rejects wrong sizes and duplicate items.
   /// Returns the id (insertion position) of the new ranking on success.
@@ -164,23 +184,36 @@ class RankingStore {
 
   RankingView view(RankingId id) const {
     TOPK_DCHECK(id < size_);
-    return RankingView(&items_[static_cast<size_t>(id) * k_], k_);
+    return RankingView(items_data() + static_cast<size_t>(id) * k_, k_);
   }
 
   /// The whole position-order item matrix, row `id` at [id*k, (id+1)*k):
   /// the vectorized validate kernel gathers candidate rows straight out
   /// of it instead of staging per-row views.
-  std::span<const ItemId> flat_items() const { return items_; }
+  std::span<const ItemId> flat_items() const {
+    return {items_data(), size_ * k_};
+  }
+  /// Whole sorted columns (row `id` at [id*k, (id+1)*k)), for bulk
+  /// consumers: the snapshot writer persists them verbatim.
+  std::span<const ItemId> flat_sorted_items() const {
+    return {sorted_items_data(), size_ * k_};
+  }
+  std::span<const Rank> flat_sorted_ranks() const {
+    return {sorted_ranks_data(), size_ * k_};
+  }
   SortedRankingView sorted(RankingId id) const {
     TOPK_DCHECK(id < size_);
     const size_t off = static_cast<size_t>(id) * k_;
-    return SortedRankingView(&sorted_items_[off], &sorted_ranks_[off], k_);
+    return SortedRankingView(sorted_items_data() + off,
+                             sorted_ranks_data() + off, k_);
   }
 
   /// Copies ranking `id` out into an owning Ranking.
   Ranking Materialize(RankingId id) const;
 
-  /// Heap bytes held by the store (for Table 6 style reporting).
+  /// Heap bytes held by the store (for Table 6 style reporting). An
+  /// external (mmap-backed) store holds ~none: the mapping pays, and
+  /// pages in on demand.
   size_t MemoryUsage() const {
     return items_.capacity() * sizeof(ItemId) +
            sorted_items_.capacity() * sizeof(ItemId) +
@@ -190,12 +223,30 @@ class RankingStore {
  private:
   void AppendRow(std::span<const ItemId> items);
 
+  // Live column bases: the owned vectors by default, the adopted
+  // external arrays otherwise. Branching here (predictable, per-row not
+  // per-entry) keeps the default copy/move of the vectors correct — no
+  // cached pointers to refresh.
+  const ItemId* items_data() const {
+    return external_ ? ext_items_ : items_.data();
+  }
+  const ItemId* sorted_items_data() const {
+    return external_ ? ext_sorted_items_ : sorted_items_.data();
+  }
+  const Rank* sorted_ranks_data() const {
+    return external_ ? ext_sorted_ranks_ : sorted_ranks_.data();
+  }
+
   uint32_t k_;
   size_t size_ = 0;
   ItemId max_item_ = 0;
   std::vector<ItemId> items_;
   std::vector<ItemId> sorted_items_;
   std::vector<Rank> sorted_ranks_;
+  bool external_ = false;
+  const ItemId* ext_items_ = nullptr;
+  const ItemId* ext_sorted_items_ = nullptr;
+  const Rank* ext_sorted_ranks_ = nullptr;
 };
 
 }  // namespace topk

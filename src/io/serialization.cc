@@ -91,6 +91,24 @@ class Reader {
     if (header[2] != kind) {
       return Status::InvalidArgument("wrong payload kind in " + path);
     }
+    // Validate the declared payload size against the actual file size
+    // BEFORE allocating: a corrupt/hostile size field must produce a
+    // Status, not a multi-gigabyte resize. The file must hold exactly
+    // header + payload — trailing bytes are as much corruption as
+    // missing ones.
+    const long payload_start = std::ftell(file.get());
+    if (payload_start < 0 || std::fseek(file.get(), 0, SEEK_END) != 0) {
+      return Status::InvalidArgument("cannot determine file size: " + path);
+    }
+    const long file_size = std::ftell(file.get());
+    if (file_size < payload_start ||
+        static_cast<uint64_t>(file_size - payload_start) != payload_size) {
+      return Status::InvalidArgument(
+          "declared payload size does not match the file: " + path);
+    }
+    if (std::fseek(file.get(), payload_start, SEEK_SET) != 0) {
+      return Status::InvalidArgument("cannot seek to payload: " + path);
+    }
     Reader reader;
     reader.buffer_.resize(payload_size);
     if (payload_size > 0 &&
@@ -108,7 +126,7 @@ class Reader {
   template <typename T>
   Result<T> Get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (position_ + sizeof(T) > buffer_.size()) {
+    if (sizeof(T) > buffer_.size() - position_) {
       return Status::InvalidArgument("payload underrun");
     }
     T value;
@@ -119,7 +137,9 @@ class Reader {
 
   template <typename T>
   Status GetInto(std::vector<T>* out, size_t count) {
-    if (position_ + count * sizeof(T) > buffer_.size()) {
+    // Division form: `position_ + count * sizeof(T)` can wrap for a
+    // hostile count and sail past the bounds check.
+    if (count > (buffer_.size() - position_) / sizeof(T)) {
       return Status::InvalidArgument("payload underrun");
     }
     out->resize(count);
@@ -127,6 +147,10 @@ class Reader {
     position_ += count * sizeof(T);
     return Status::OK();
   }
+
+  /// Payload bytes not yet consumed — count fields sanity-check against
+  /// this before any reserve().
+  size_t remaining() const { return buffer_.size() - position_; }
 
  private:
   std::vector<uint8_t> buffer_;
@@ -155,8 +179,16 @@ Result<RankingStore> LoadRankingStore(const std::string& path) {
   }
   auto n = reader.value().Get<uint64_t>();
   if (!n.ok()) return n.status();
+  // Each stored ranking occupies k * 4 payload bytes; a count the
+  // remaining payload cannot hold is corruption, caught here rather
+  // than n Add() calls later.
+  if (n.value() >
+      reader.value().remaining() / (sizeof(ItemId) * k.value())) {
+    return Status::InvalidArgument("stored ranking count exceeds payload");
+  }
 
   RankingStore store(k.value());
+  store.Reserve(static_cast<size_t>(n.value()));
   std::vector<ItemId> row;
   for (uint64_t i = 0; i < n.value(); ++i) {
     Status status = reader.value().GetInto(&row, k.value());
@@ -185,6 +217,14 @@ Result<Partitioning> LoadPartitioning(const std::string& path) {
   if (!reader.ok()) return reader.status();
   auto count = reader.value().Get<uint64_t>();
   if (!count.ok()) return count.status();
+  // A partition record is at least medoid + radius + member count
+  // (4 + 8 + 8 bytes); bound the declared count by what the payload can
+  // hold before reserving.
+  constexpr size_t kMinPartitionBytes =
+      sizeof(RankingId) + sizeof(RawDistance) + sizeof(uint64_t);
+  if (count.value() > reader.value().remaining() / kMinPartitionBytes) {
+    return Status::InvalidArgument("partition count exceeds payload");
+  }
 
   Partitioning partitioning;
   partitioning.partitions.reserve(count.value());

@@ -58,6 +58,13 @@ namespace topk {
 struct FilterScratch {
   VisitedSet visited{0};
   std::vector<RankingId> candidates;
+  /// Landing buffers for indexes that serve lists through
+  /// DecodeList(item, scratch) instead of list(item) — the storage
+  /// tier's block-compressed arena. At most two lists are live at once
+  /// (the sorted two-list union), so two grow-only buffers cover every
+  /// sweep path with zero allocation inside the per-list loops.
+  std::vector<RankingId> decode_a;
+  std::vector<RankingId> decode_b;
 };
 
 inline RankingId PostingEntryId(RankingId entry) { return entry; }
@@ -74,6 +81,20 @@ template <typename Index>
 constexpr bool IndexHasIdSortedLists() {
   if constexpr (requires { Index::kIdSortedLists; }) {
     return Index::kIdSortedLists;
+  } else {
+    return false;
+  }
+}
+
+/// Whether the index serves posting lists through DecodeList(item,
+/// scratch) — the storage tier's compressed arena — instead of the
+/// zero-cost list(item) span of the RAM-resident CSR arena. Decoded
+/// lists land in the FilterScratch buffers; the candidate stream and
+/// tickers stay bit-identical either way.
+template <typename Index>
+constexpr bool IndexHasDecodedLists() {
+  if constexpr (requires { Index::kDecodedLists; }) {
+    return Index::kDecodedLists;
   } else {
     return false;
   }
@@ -145,8 +166,21 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
       query, theta_raw, drop,
       [&index](ItemId item) { return index.list_length(item); }, stats);
 
+  // One access path for both storage tiers: a decoded-lists index lands
+  // the list in the given scratch buffer (inline-tier lists come back as
+  // direct spans, zero decode); a CSR index returns its arena span and
+  // the buffer goes unused.
+  auto list_at = [&](uint32_t position, std::vector<RankingId>* landing) {
+    if constexpr (IndexHasDecodedLists<Index>()) {
+      return index.DecodeList(query[position], landing);
+    } else {
+      (void)landing;
+      return index.list(query[position]);
+    }
+  };
+
   if (positions.size() == 1) {
-    const auto list = index.list(query[positions[0]]);
+    const auto list = list_at(positions[0], &scratch->decode_a);
     AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
     for (const auto& entry : list) {
       scratch->candidates.push_back(PostingEntryId(entry));
@@ -155,8 +189,8 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
   }
   if constexpr (IndexHasIdSortedLists<Index>()) {
     if (positions.size() == 2) {
-      const auto first = index.list(query[positions[0]]);
-      const auto second = index.list(query[positions[1]]);
+      const auto first = list_at(positions[0], &scratch->decode_a);
+      const auto second = list_at(positions[1], &scratch->decode_b);
       AddTicker(stats, Ticker::kPostingEntriesScanned,
                 first.size() + second.size());
       filter_detail::TwoListUnion(first, second, &scratch->candidates);
@@ -167,11 +201,13 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
   scratch->visited.EnsureCapacity(id_capacity);
   scratch->visited.NextEpoch();
   for (size_t li = 0; li < positions.size(); ++li) {
-    const auto list = index.list(query[positions[li]]);
-    if (li + 1 < positions.size()) {
-      // Warm the next list's head while this one is scanned; its arena
-      // span is contiguous, so one line covers the first entries.
-      PrefetchRead(index.list(query[positions[li + 1]]).data());
+    const auto list = list_at(positions[li], &scratch->decode_a);
+    if constexpr (!IndexHasDecodedLists<Index>()) {
+      if (li + 1 < positions.size()) {
+        // Warm the next list's head while this one is scanned; its arena
+        // span is contiguous, so one line covers the first entries.
+        PrefetchRead(index.list(query[positions[li + 1]]).data());
+      }
     }
     AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
     for (size_t i = 0; i < list.size(); ++i) {

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "invidx/drop_policy.h"
+#include "storage/compressed_arena.h"
+#include "storage/snapshot.h"
 
 namespace topk {
 
@@ -291,8 +293,9 @@ bool MutableStore::MergeNow() {
   auto next = BuildMergedSegment(*main_snapshot, *sealed_snapshot, consumed);
   {
     MutexLock lock(&mutex_);
-    InstallMergedLocked(std::move(next), consumed);
+    InstallMergedLocked(next, consumed);
   }
+  MaybeEmitSnapshot(*next);
   return true;
 }
 
@@ -320,9 +323,33 @@ void MutableStore::MergeWorkerLoop() {
         BuildMergedSegment(*main_snapshot, *sealed_snapshot, consumed);
     {
       MutexLock lock(&mutex_);
-      InstallMergedLocked(std::move(next), consumed);
+      InstallMergedLocked(next, consumed);
     }
+    MaybeEmitSnapshot(*next);
   }
+}
+
+void MutableStore::MaybeEmitSnapshot(const MainSegment& segment) {
+  if (options_.snapshot_path.empty()) return;
+  Status status;
+  if (segment.store.empty()) {
+    // WriteStoreSnapshot rejects empty stores; a merge that compacted
+    // everything away simply leaves the previous snapshot in place.
+    status = Status::FailedPrecondition(
+        "merge produced an empty segment; snapshot not rewritten");
+  } else {
+    const auto arena = storage::CompressedPostingArena<RankingId>::FromArena(
+        segment.index.arena());
+    status = storage::WriteStoreSnapshot(segment.store, arena,
+                                         options_.snapshot_path);
+  }
+  MutexLock lock(&mutex_);
+  last_snapshot_status_ = status;
+}
+
+Status MutableStore::last_snapshot_status() const {
+  MutexLock lock(&mutex_);
+  return last_snapshot_status_;
 }
 
 }  // namespace topk

@@ -67,6 +67,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -89,6 +90,17 @@ struct MutableStoreOptions {
   /// no worker thread is spawned — merges happen only via MergeNow()
   /// (the deterministic mode tests and single-threaded callers use).
   size_t merge_threshold = 0;
+
+  /// When non-empty, every successful merge also persists the freshly
+  /// rebuilt main segment as a compressed storage snapshot
+  /// (storage/snapshot.h) at this path. The write runs OFF the store
+  /// mutex, after the swap: writers and readers proceed against the
+  /// installed segment while the file is emitted. The snapshot freezes
+  /// the segment's rows in physical order (its dense local ids, not the
+  /// sparse global ids) — it is a serving image for the frozen mmap
+  /// tier, not a replayable WAL. Failures are recorded, not thrown:
+  /// poll last_snapshot_status().
+  std::string snapshot_path;
 };
 
 class MutableStore {
@@ -142,6 +154,11 @@ class MutableStore {
   /// anything when there is nothing to merge (empty delta, no
   /// tombstones). Deterministic-mode counterpart of the worker.
   bool MergeNow() TOPK_EXCLUDES(mutex_);
+
+  /// Outcome of the most recent merge-emitted snapshot write (OK until
+  /// the first one happens). Meaningful only with a non-empty
+  /// options.snapshot_path.
+  Status last_snapshot_status() const TOPK_EXCLUDES(mutex_);
 
   /// Registers `listener` to run (under the store mutex) after every
   /// successful mutation — see the header contract. Typically
@@ -204,6 +221,11 @@ class MutableStore {
 
   void MergeWorkerLoop() TOPK_EXCLUDES(mutex_);
 
+  /// Off-lock snapshot emission of a freshly installed main segment
+  /// (no-op when options_.snapshot_path is empty); records the outcome
+  /// in last_snapshot_status_.
+  void MaybeEmitSnapshot(const MainSegment& segment) TOPK_EXCLUDES(mutex_);
+
   /// Range pipeline for one segment: FilterPhase over its index (or
   /// ValidateAll at theta >= dmax), tombstones filtered BEFORE
   /// validation, accepted locals mapped to global ids.
@@ -238,6 +260,7 @@ class MutableStore {
   RankingId next_global_id_ TOPK_GUARDED_BY(mutex_) = 0;
   std::vector<std::function<void()>> listeners_ TOPK_GUARDED_BY(mutex_);
   bool stop_worker_ TOPK_GUARDED_BY(mutex_) = false;
+  Status last_snapshot_status_ TOPK_GUARDED_BY(mutex_);
 
   /// Query scratch, reused across queries (queries serialize on mutex_).
   FilterScratch filter_ TOPK_GUARDED_BY(mutex_);

@@ -1,0 +1,39 @@
+#include "storage/compressed_index.h"
+
+#include <algorithm>
+
+namespace topk {
+namespace storage {
+
+CompressedFilterValidateEngine::CompressedFilterValidateEngine(
+    const RankingStore* store, const CompressedInvertedIndex* index,
+    CompressedEngineOptions options)
+    : store_(store), index_(index), options_(options) {
+  filter_.visited.EnsureCapacity(store->size());
+  validator_.EnsureItemCapacity(
+      store->empty() ? 0 : static_cast<size_t>(store->max_item()) + 1);
+}
+
+std::vector<RankingId> CompressedFilterValidateEngine::Query(
+    const PreparedQuery& query, RawDistance theta_raw, Statistics* stats) {
+  TOPK_DCHECK(query.k() == store_->k());
+
+  // Filter phase: union of the (possibly drop-reduced) posting lists,
+  // decoded through the scratch landing buffers.
+  const std::span<const RankingId> candidates =
+      FilterPhase(*index_, query.view(), theta_raw, options_.drop,
+                  store_->size(), &filter_, stats);
+  AddTicker(stats, Ticker::kCandidates, candidates.size());
+
+  // Validate phase: one batched pass, exact distance per candidate.
+  std::vector<RankingId> results;
+  validator_.BindQuery(query.view(),
+                       static_cast<size_t>(store_->max_item()) + 1);
+  validator_.ValidateSpan(*store_, candidates, theta_raw, &results, stats);
+  std::sort(results.begin(), results.end());
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
+}  // namespace storage
+}  // namespace topk

@@ -1,0 +1,90 @@
+// Group-varint coding of 32-bit values (the storage tier's byte codec).
+//
+// Classic group varint (Jeff Dean's WSDM'09 layout, the qint idiom
+// RediSearch uses for its inverted blocks): values are packed in groups
+// of four behind one control byte whose four 2-bit fields give each
+// value's encoded length minus one (1..4 bytes, little-endian
+// truncation). Against plain varint this moves all length branches into
+// one table-free control-byte read per group, so decode is a short
+// dependency chain of unaligned loads and masks.
+//
+// A group may be partial (1..4 values): the control byte keeps its four
+// fields, unused fields are zero, and only the used values' payload
+// bytes are emitted — the stream is self-terminating given the value
+// count, which the posting block metadata always carries.
+//
+// Encode appends to a caller-owned byte vector (build path, allocation
+// fine); decode reads through raw pointers against a hard stream end and
+// never allocates — the contract scripts/check_invariants.py lints for
+// every decode path in src/storage/.
+
+#ifndef TOPK_STORAGE_GROUP_VARINT_H_
+#define TOPK_STORAGE_GROUP_VARINT_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/status.h"
+
+namespace topk {
+namespace storage {
+
+/// Encoded payload length of one value in bytes (1..4): the smallest
+/// little-endian truncation that round-trips.
+inline uint32_t GroupVarintByteLength(uint32_t value) {
+  // bit_width(0) == 0; force at least one byte.
+  return (static_cast<uint32_t>(std::bit_width(value | 1u)) + 7u) / 8u;
+}
+
+/// Appends one group of `m` (1..4) values to `out`: control byte, then
+/// the used values' payload bytes.
+inline void GroupVarintEncodeGroup(const uint32_t* values, size_t m,
+                                   std::vector<uint8_t>* out) {
+  TOPK_DCHECK(m >= 1 && m <= 4);
+  uint8_t control = 0;
+  uint8_t payload[16];
+  size_t payload_size = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t length = GroupVarintByteLength(values[i]);
+    control = static_cast<uint8_t>(control | ((length - 1u) << (2 * i)));
+    std::memcpy(payload + payload_size, &values[i], length);
+    payload_size += length;
+  }
+  out->push_back(control);
+  out->insert(out->end(), payload, payload + payload_size);
+}
+
+/// Encodes `count` values as a sequence of (partial) groups.
+inline void GroupVarintEncode(const uint32_t* values, size_t count,
+                              std::vector<uint8_t>* out) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) GroupVarintEncodeGroup(values + i, 4, out);
+  if (i < count) GroupVarintEncodeGroup(values + i, count - i, out);
+}
+
+/// Decodes one group of `m` (1..4) values from `in` into `out` and
+/// returns the advanced cursor, or nullptr if the group would read past
+/// `end` (corrupt stream; the caller surfaces the failure). No
+/// allocation, no writes past out[m-1].
+inline const uint8_t* GroupVarintDecodeGroup(const uint8_t* in,
+                                             const uint8_t* end, size_t m,
+                                             uint32_t* out) {
+  if (in >= end) return nullptr;
+  const uint8_t control = *in++;
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t length = ((control >> (2 * i)) & 0x3u) + 1u;
+    if (static_cast<size_t>(end - in) < length) return nullptr;
+    uint32_t value = 0;
+    std::memcpy(&value, in, length);
+    out[i] = value;
+    in += length;
+  }
+  return in;
+}
+
+}  // namespace storage
+}  // namespace topk
+
+#endif  // TOPK_STORAGE_GROUP_VARINT_H_

@@ -1,0 +1,146 @@
+// mmap-backed store snapshots: the larger-than-RAM load path.
+//
+// A snapshot file freezes a RankingStore plus the compressed posting
+// arena of its plain inverted index into one page-aligned, sectioned
+// image, so OpenStoreSnapshot can mmap the file and serve queries
+// zero-copy: the three store columns and the four arena sections are
+// pointed at in place (RankingStore::AdoptExternal,
+// CompressedPostingArena::Adopt) and page in on demand. Nothing but the
+// header, the section table, and the arena *metadata* sections is
+// touched at open time — the posting payload and the row columns stay
+// cold until a query walks them, which is what makes a collection
+// larger than RAM servable (bench/bench_storage.cc evidences this with
+// mincore residency counts).
+//
+// Layout (all integers in host byte order — like io/serialization.h
+// this is cache persistence, not an interchange format; see DESIGN.md
+// "On-disk formats"):
+//
+//   SnapshotHeader        magic "TOPKSNP1", version, counts (k, n,
+//                         max_item, arena entries), and an FNV-1a
+//                         checksum over the section table;
+//   SectionEntry[7]       id, byte offset, byte size, FNV-1a checksum
+//                         of the payload;
+//   sections              each padded to a 4096-byte boundary:
+//                         1 items, 2 sorted_items, 3 sorted_ranks,
+//                         4 list metas, 5 block metas, 6 inline
+//                         entries, 7 block byte stream.
+//
+// Integrity is two-tier by design: OpenStoreSnapshot verifies the
+// header and the section-table checksum and bounds-checks every
+// section (plus the arena metadata, via Adopt) — cheap, O(metadata).
+// Per-section payload checksums are verified only by the separate
+// VerifySnapshotChecksums, because checksumming gigabytes of payload
+// at open would fault in every page and defeat the zero-copy load.
+
+#ifndef TOPK_STORAGE_SNAPSHOT_H_
+#define TOPK_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/ranking.h"
+#include "core/status.h"
+#include "storage/compressed_index.h"
+
+namespace topk {
+namespace storage {
+
+inline constexpr char kSnapshotMagic[8] = {'T', 'O', 'P', 'K',
+                                           'S', 'N', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotSectionCount = 7;
+inline constexpr size_t kSnapshotPageSize = 4096;
+
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t section_count;
+  uint32_t k;
+  uint32_t max_item;
+  uint64_t num_rankings;
+  uint64_t num_arena_entries;
+  uint64_t directory_checksum;  // FNV-1a over the section table bytes
+};
+static_assert(sizeof(SnapshotHeader) == 48);
+
+struct SnapshotSection {
+  enum Id : uint32_t {
+    kItems = 1,
+    kSortedItems = 2,
+    kSortedRanks = 3,
+    kListMetas = 4,
+    kBlockMetas = 5,
+    kInlineEntries = 6,
+    kByteStream = 7,
+  };
+  uint32_t id;
+  uint32_t reserved;  // zero; keeps the 64-bit fields aligned
+  uint64_t offset;    // from file start, kSnapshotPageSize-aligned
+  uint64_t size;      // payload bytes (padding excluded)
+  uint64_t checksum;  // FNV-1a of the payload bytes
+};
+static_assert(sizeof(SnapshotSection) == 32);
+
+/// FNV-1a 64-bit, the same checksum io/serialization.cc uses.
+uint64_t SnapshotChecksum(const void* data, size_t size);
+
+/// Writes `store` + `arena` (the compressed arena of the store's plain
+/// inverted index) as a snapshot at `path`. The store must not be
+/// empty; the arena must have one list per item id in [0, max_item].
+Status WriteStoreSnapshot(const RankingStore& store,
+                          const CompressedPostingArena<RankingId>& arena,
+                          const std::string& path);
+
+/// An open snapshot: a frozen RankingStore and CompressedInvertedIndex
+/// served zero-copy out of one shared mmap'd region. Move-only; the
+/// mapping unmaps when the last StoreSnapshot referencing it dies.
+class StoreSnapshot {
+ public:
+  StoreSnapshot(StoreSnapshot&&) = default;
+  StoreSnapshot& operator=(StoreSnapshot&&) = default;
+
+  const RankingStore& store() const { return store_; }
+  const CompressedInvertedIndex& index() const { return index_; }
+
+  /// Total bytes mapped (the file size).
+  size_t mapped_bytes() const;
+
+  /// Bytes of the mapping currently resident in memory (via mincore);
+  /// returns 0 where unsupported. Right after open this is a small
+  /// fraction of mapped_bytes() — the zero-copy evidence the storage
+  /// bench records.
+  size_t ResidentBytes() const;
+
+ private:
+  friend Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path);
+
+  class Mapping;  // RAII mmap region (defined in snapshot.cc)
+
+  StoreSnapshot(std::shared_ptr<Mapping> mapping, RankingStore store,
+                CompressedInvertedIndex index)
+      : mapping_(std::move(mapping)),
+        store_(std::move(store)),
+        index_(std::move(index)) {}
+
+  std::shared_ptr<Mapping> mapping_;
+  RankingStore store_;
+  CompressedInvertedIndex index_;
+};
+
+/// Maps `path` and wires the zero-copy store + index. Verifies the
+/// header, the section-table checksum, section bounds/alignment, and
+/// the arena metadata; does NOT read the payload sections (see the
+/// header comment for why).
+Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path);
+
+/// Reads every section payload and verifies its checksum. O(file
+/// size); run this when integrity matters more than load latency
+/// (e.g. after a transfer), not on every open.
+Status VerifySnapshotChecksums(const std::string& path);
+
+}  // namespace storage
+}  // namespace topk
+
+#endif  // TOPK_STORAGE_SNAPSHOT_H_
