@@ -2,17 +2,29 @@
 // mmap snapshot load path, shared by the standalone bench_storage binary
 // and bench_baseline (which embeds the section into BENCH_baseline.json).
 //
-// Three experiments per dataset over storage/:
+// Five experiments per dataset over storage/:
 //
-//   compress   posting-arena footprint: uncompressed CSR bytes vs the
-//              block-encoded arena (bytes/entry, ratio, encode time).
-//   query      mean query latency through four serving tiers — the RAM
-//              uncompressed engine, the RAM compressed engine, and the
-//              mmap'd snapshot cold (page cache evicted) and warm — with
-//              every tier checked bit-exact against the RAM baseline.
-//   snapshot   the zero-copy evidence: snapshot file size vs bytes
-//              resident right after OpenStoreSnapshot (mincore), plus
-//              whether the adopted store/index hold any heap copies.
+//   compress           posting-arena footprint: uncompressed CSR bytes vs
+//                      the block-encoded arena (bytes/entry, ratio,
+//                      encode time).
+//   decode_throughput  raw block-decode speed over the arena's byte
+//                      stream — the scalar group loop vs the dispatched
+//                      SIMD backend (storage/varint_simd.h), GB/s and
+//                      entries/ns, with the two verified bit-identical
+//                      before timing.
+//   query              mean query latency through the serving tiers —
+//                      RAM uncompressed, RAM compressed, mmap cold (page
+//                      cache evicted), mmap warm, plus the compressed
+//                      rank-augmented engine served from RAM and from
+//                      the snapshot's augmented arena — every tier
+//                      checked bit-exact against the RAM baseline.
+//   block_skip         rank-window sweep evidence: blocks discarded on
+//                      metadata alone vs blocks decoded
+//                      (block_skip_ratio), results still exact.
+//   snapshot           the zero-copy evidence: snapshot file size vs
+//                      bytes resident right after OpenStoreSnapshot
+//                      (mincore), plus whether the adopted store/index
+//                      hold any heap copies.
 
 #ifndef TOPK_BENCH_STORAGE_BENCH_H_
 #define TOPK_BENCH_STORAGE_BENCH_H_
@@ -22,19 +34,25 @@
 #include <unistd.h>
 #endif
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/statistics.h"
 #include "invidx/filter_validate.h"
 #include "invidx/plain_inverted_index.h"
 #include "json_writer.h"
+#include "storage/compressed_augmented.h"
 #include "storage/compressed_index.h"
+#include "storage/posting_codec.h"
 #include "storage/snapshot.h"
+#include "storage/varint_simd.h"
 
 namespace topk {
 namespace bench {
@@ -78,6 +96,32 @@ inline double TimedPass(Engine* engine,
   for (size_t i = 0; i < queries.size(); ++i) {
     const auto got = engine->Query(queries[i], theta_raw);
     *exact = *exact && got == expected[i];
+  }
+  return ElapsedMsSince(start);
+}
+
+/// Decodes every block of `arena` once per rep through `decode` (the
+/// dispatched or scalar id-block decoder), returning wall time. The
+/// checksum folds the last id of every block so the loop cannot be
+/// optimized away.
+template <typename DecodeFn>
+inline double TimeBlockDecode(
+    const storage::CompressedPostingArena<RankingId>& arena, uint32_t reps,
+    const DecodeFn& decode, uint64_t* checksum) {
+  const auto blocks = arena.block_metas();
+  const auto bytes = arena.byte_stream();
+  std::vector<RankingId> out(storage::kBlockEntries);
+  *checksum = 0;
+  const auto start = Clock::now();
+  for (uint32_t rep = 0; rep < reps; ++rep) {
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      const uint8_t* begin = bytes.data() + blocks[b].byte_offset;
+      const uint8_t* end = b + 1 < blocks.size()
+                               ? bytes.data() + blocks[b + 1].byte_offset
+                               : bytes.data() + bytes.size();
+      decode(blocks[b].first_id, blocks[b].count, begin, end, out.data());
+      *checksum += out[blocks[b].count - 1];
+    }
   }
   return ElapsedMsSince(start);
 }
@@ -154,11 +198,118 @@ inline void EmitStorageSection(JsonWriter* json, const BenchArgs& args) {
                       : 0)
               << "\n";
 
+    // --- decode_throughput: scalar group loop vs dispatched backend. ---
+    {
+      const auto blocks = arena.block_metas();
+      const auto bytes = arena.byte_stream();
+      uint64_t block_entries = 0;
+      for (const auto& block : blocks) block_entries += block.count;
+      // Bit-identity first: both decoders over every block.
+      bool bit_identical = true;
+      {
+        std::vector<RankingId> a(storage::kBlockEntries);
+        std::vector<RankingId> b(storage::kBlockEntries);
+        for (size_t blk = 0; blk < blocks.size(); ++blk) {
+          const uint8_t* begin = bytes.data() + blocks[blk].byte_offset;
+          const uint8_t* end =
+              blk + 1 < blocks.size()
+                  ? bytes.data() + blocks[blk + 1].byte_offset
+                  : bytes.data() + bytes.size();
+          const bool ok_a =
+              storage::DecodeIdBlock(blocks[blk].first_id, blocks[blk].count,
+                                     begin, end, a.data());
+          const bool ok_b = storage::DecodeIdBlockScalar(
+              blocks[blk].first_id, blocks[blk].count, begin, end, b.data());
+          bit_identical = bit_identical && ok_a && ok_b &&
+                          std::memcmp(a.data(), b.data(),
+                                      blocks[blk].count *
+                                          sizeof(RankingId)) == 0;
+        }
+      }
+      // Deterministic rep count: aim for a few million decoded entries so
+      // the per-rep wall time is measurable at any dataset scale.
+      const auto reps = static_cast<uint32_t>(std::max<uint64_t>(
+          1, 4000000 / std::max<uint64_t>(1, block_entries)));
+      uint64_t checksum_simd = 0;
+      uint64_t checksum_scalar = 0;
+      const double simd_ms = storage_detail::TimeBlockDecode(
+          arena, reps,
+          [](uint32_t first, uint32_t count, const uint8_t* begin,
+             const uint8_t* end, RankingId* out) {
+            storage::DecodeIdBlock(first, count, begin, end, out);
+          },
+          &checksum_simd);
+      const double scalar_ms = storage_detail::TimeBlockDecode(
+          arena, reps,
+          [](uint32_t first, uint32_t count, const uint8_t* begin,
+             const uint8_t* end, RankingId* out) {
+            storage::DecodeIdBlockScalar(first, count, begin, end, out);
+          },
+          &checksum_scalar);
+      bit_identical = bit_identical && checksum_simd == checksum_scalar;
+      const double payload_bytes =
+          static_cast<double>(bytes.size()) * static_cast<double>(reps);
+      const double entries =
+          static_cast<double>(block_entries) * static_cast<double>(reps);
+      struct Impl {
+        const char* impl;
+        const char* backend;
+        double wall_ms;
+      };
+      const Impl impls[] = {
+          {"dispatched", storage::kDecodeBackendName, simd_ms},
+          {"scalar_reference", "scalar", scalar_ms},
+      };
+      for (const Impl& impl : impls) {
+        json->BeginObject();
+        json->Key("bench");
+        json->String("decode_throughput");
+        json->Key("dataset");
+        json->String(dataset.name);
+        json->Key("impl");
+        json->String(impl.impl);
+        json->Key("backend");
+        json->String(impl.backend);
+        json->Key("n");
+        json->Uint(store.size());
+        json->Key("k");
+        json->Uint(kK);
+        json->Key("reps");
+        json->Uint(reps);
+        json->Key("block_entries_decoded");
+        json->Uint(block_entries);
+        json->Key("bit_identical");
+        json->Bool(bit_identical);
+        json->Key("wall_ms");
+        json->Double(impl.wall_ms);
+        json->Key("gb_per_sec");
+        json->Double(impl.wall_ms > 0 ? payload_bytes / (impl.wall_ms * 1e6)
+                                      : 0);
+        json->Key("entries_per_ns");
+        json->Double(impl.wall_ms > 0 ? entries / (impl.wall_ms * 1e6) : 0);
+        if (impl.impl[0] == 'd') {
+          json->Key("speedup_vs_scalar");
+          json->Double(impl.wall_ms > 0 ? scalar_ms / impl.wall_ms : 0);
+        }
+        json->EndObject();
+      }
+      std::cerr << "  storage decode " << dataset.name << " backend="
+                << storage::kDecodeBackendName << " speedup="
+                << (simd_ms > 0 ? scalar_ms / simd_ms : 0)
+                << (bit_identical ? "" : " NOT-BIT-IDENTICAL") << "\n";
+    }
+
+    // The rank-augmented twin of the arena: the same store compressed
+    // with per-block rank ranges, shared by the snapshot writer, the
+    // augmented serving tiers, and the block-skip experiment below.
+    const storage::CompressedAugmentedIndex augmented =
+        storage::CompressedAugmentedIndex::Build(store);
+
     // --- snapshot: write, evict, open, and record residency. ---
     const std::string path =
         std::string("BENCH_storage_snapshot_") + dataset.name + ".tmp";
     const Status written =
-        storage::WriteStoreSnapshot(store, arena, path);
+        storage::WriteStoreSnapshot(store, arena, augmented.arena(), path);
     if (!written.ok()) {
       std::cerr << "  storage snapshot write FAILED: " << written.ToString()
                 << "\n";
@@ -239,6 +390,19 @@ inline void EmitStorageSection(JsonWriter* json, const BenchArgs& args) {
     wall_ms = storage_detail::TimedPass(&mmap_engine, queries, theta_raw,
                                         expected, &exact);
     tiers.push_back({"mmap_warm", wall_ms, exact});
+    // Augmented serving: the rank-interleaved codec end to end, from RAM
+    // and straight off the snapshot's frozen augmented arena.
+    storage::CompressedAugmentedEngine ram_augmented(&store, &augmented);
+    exact = true;
+    wall_ms = storage_detail::TimedPass(&ram_augmented, queries, theta_raw,
+                                        expected, &exact);
+    tiers.push_back({"ram_augmented", wall_ms, exact});
+    storage::CompressedAugmentedEngine mmap_augmented(
+        &snapshot.value().store(), &snapshot.value().augmented_index());
+    exact = true;
+    wall_ms = storage_detail::TimedPass(&mmap_augmented, queries, theta_raw,
+                                        expected, &exact);
+    tiers.push_back({"mmap_augmented", wall_ms, exact});
 
     for (const Tier& tier : tiers) {
       json->BeginObject();
@@ -265,6 +429,55 @@ inline void EmitStorageSection(JsonWriter* json, const BenchArgs& args) {
       json->EndObject();
       std::cerr << "  storage query " << dataset.name << "/" << tier.name
                 << (tier.exact ? " exact" : " MISMATCH") << "\n";
+    }
+
+    // --- block_skip: sweep accounting through the skip-enabled engine. ---
+    {
+      Statistics stats;
+      storage::CompressedAugmentedEngine skip_engine(&store, &augmented);
+      bool skip_exact = true;
+      const auto start = Clock::now();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const auto got = skip_engine.Query(queries[i], theta_raw, &stats);
+        skip_exact = skip_exact && got == expected[i];
+      }
+      const double skip_ms = ElapsedMsSince(start);
+      const uint64_t skipped = stats.Get(Ticker::kBlocksSkipped);
+      const uint64_t decoded = stats.Get(Ticker::kBlocksDecoded);
+      const uint64_t swept = skipped + decoded;
+      json->BeginObject();
+      json->Key("bench");
+      json->String("block_skip");
+      json->Key("dataset");
+      json->String(dataset.name);
+      json->Key("n");
+      json->Uint(store.size());
+      json->Key("k");
+      json->Uint(kK);
+      json->Key("theta");
+      json->Double(theta);
+      json->Key("queries");
+      json->Uint(queries.size());
+      json->Key("blocks_skipped");
+      json->Uint(skipped);
+      json->Key("blocks_decoded");
+      json->Uint(decoded);
+      json->Key("block_skip_ratio");
+      json->Double(swept > 0 ? static_cast<double>(skipped) /
+                                   static_cast<double>(swept)
+                             : 0);
+      json->Key("posting_entries_skipped");
+      json->Uint(stats.Get(Ticker::kPostingEntriesSkipped));
+      json->Key("exact_match");
+      json->Bool(skip_exact);
+      json->Key("wall_ms");
+      json->Double(skip_ms);
+      json->EndObject();
+      std::cerr << "  storage block_skip " << dataset.name << " ratio="
+                << (swept > 0 ? static_cast<double>(skipped) /
+                                    static_cast<double>(swept)
+                              : 0)
+                << (skip_exact ? " exact" : " MISMATCH") << "\n";
     }
 
     std::remove(path.c_str());

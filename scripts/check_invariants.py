@@ -32,7 +32,18 @@ Checks (each is a named rule; any violation exits non-zero):
                   scratch, and a hidden allocation there is a per-query
                   heap churn regression the benches would only catch
                   later. Deliberate scratch setup is exempted line-by-line
-                  with an `// alloc-ok: <why>` marker.
+                  with an `// alloc-ok: <why>` marker. Covers the SIMD
+                  kernels too: any column-0 definition whose name contains
+                  Decode (GroupVarintDecodeGroup, DecodeValuesSimd) or the
+                  DeltaPrefixSum variants.
+  block-skip-guard Skip-metadata readers in src/storage/ (DecodeSelected-
+                  Blocks and the *InRange / *InRankWindow sweeps) must
+                  discard a block on metadata alone — a guard `continue`
+                  before the first BlockBytes() call — so a skipped
+                  block's payload byte range is never computed, never
+                  read. A reader that touches payload bytes before the
+                  skip decision silently faults in mmap-cold pages the
+                  sweep promised to leave on disk.
   generation-bump every live-store mutation entry point (Insert / Delete /
                   InstallMergedLocked in src/mutate/ and the sharded
                   router) must bump the store generation via
@@ -112,13 +123,25 @@ GENERATION_DELEGATED_MARKER = "generation: delegated"
 
 # decode-noalloc ------------------------------------------------------------
 
-# A Decode* definition starts at column 0 (calls sit indented; the tree is
-# clang-formatted, so definitions never are).
-DECODE_DEF_RE = re.compile(r"^[^\s/].*\bDecode\w*\s*\(")
+# A decode-kernel definition starts at column 0 (calls sit indented; the
+# tree is clang-formatted, so definitions never are). The name test is
+# substring-based so GroupVarintDecodeGroup and the SIMD bodies
+# (DecodeValuesSimd, DeltaPrefixSumInPlace) are covered alongside the
+# plain Decode* entry points.
+DECODE_DEF_RE = re.compile(r"^[^\s/].*\b(?:\w*Decode\w*|DeltaPrefixSum\w*)\s*\(")
 DECODE_ALLOC_RE = re.compile(
     r"\b(?:push_back|emplace_back|emplace|resize|reserve|insert|assign)\s*\("
     r"|\bnew\b|\b(?:malloc|calloc|realloc)\s*\(")
 DECODE_ALLOC_OK_MARKER = "alloc-ok:"
+
+# block-skip-guard -----------------------------------------------------------
+
+# Skip-metadata reader definitions: the block-selective sweeps over a
+# compressed arena. Same column-0 convention as DECODE_DEF_RE.
+SKIP_READER_DEF_RE = re.compile(
+    r"^[^\s/].*\b\w*(?:SelectedBlocks|InRange|InRankWindow)\s*\(")
+BLOCK_BYTES_RE = re.compile(r"\bBlockBytes\s*\(")
+SKIP_CONTINUE_RE = re.compile(r"\bcontinue\s*;")
 
 # kernel-layering -----------------------------------------------------------
 
@@ -320,6 +343,46 @@ def check_decode_noalloc(path: Path, lines: list[str]) -> list[Failure]:
     return failures
 
 
+def check_block_skip_guard(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if not rel.startswith("src/storage/"):
+        return []
+    failures = []
+    i, n = 0, len(lines)
+    while i < n:
+        if not SKIP_READER_DEF_RE.match(strip_comments_and_strings(lines[i])):
+            i += 1
+            continue
+        # Walk the definition body by brace balance. The first BlockBytes
+        # call must come after a metadata-guard `continue` — otherwise the
+        # reader computed a payload byte range for a block it might still
+        # skip. Delegating wrappers (no BlockBytes at all) pass trivially.
+        start = i
+        depth, seen_open, seen_continue = 0, False, False
+        while i < n:
+            code = strip_comments_and_strings(lines[i])
+            if seen_open and SKIP_CONTINUE_RE.search(code):
+                seen_continue = True
+            if seen_open and BLOCK_BYTES_RE.search(code):
+                if not seen_continue:
+                    failures.append(Failure(
+                        "block-skip-guard", f"{rel}:{i + 1}",
+                        "BlockBytes() reached before the metadata-guard "
+                        "`continue` in a skip-metadata reader (definition "
+                        f"at line {start + 1}) — a skipped block's payload "
+                        "bytes must never be touched"))
+                break  # first BlockBytes decides; rest of body is fine
+            depth += code.count("{") - code.count("}")
+            seen_open = seen_open or "{" in code
+            if seen_open and depth <= 0:
+                break
+            if not seen_open and ";" in code:
+                break  # declaration, not a definition
+            i += 1
+        i += 1
+    return failures
+
+
 def check_kernel_layering(path: Path, lines: list[str]) -> list[Failure]:
     rel = path.relative_to(REPO_ROOT).as_posix()
     if not rel.startswith("src/kernel/") or path.suffix != ".h":
@@ -352,6 +415,7 @@ def run_checks() -> list[Failure]:
         failures += check_generation_bump(path, lines)
         failures += check_kernel_layering(path, lines)
         failures += check_decode_noalloc(path, lines)
+        failures += check_block_skip_guard(path, lines)
     failures += check_bench_schema()
     return failures
 
@@ -386,6 +450,27 @@ def self_test() -> int:
              "const uint8_t* DecodeBlock(std::vector<int>* out) {",
              "  for (int i = 0; i < 4; ++i) out->push_back(i);",
              "  return nullptr;", "}"])),
+        ("decode-noalloc SIMD group kernel",
+         lambda: check_decode_noalloc(fake_storage, [
+             "inline const uint8_t* GroupVarintDecodeGroup(uint32_t* out) {",
+             "  auto* scratch = new uint32_t[4];",
+             "  return nullptr;", "}"])),
+        ("decode-noalloc prefix-sum kernel",
+         lambda: check_decode_noalloc(fake_storage, [
+             "inline void DeltaPrefixSumInPlace(std::vector<int>* v) {",
+             "  v->resize(8);", "}"])),
+        ("block-skip-guard BlockBytes before the guard",
+         lambda: check_block_skip_guard(fake_storage, [
+             "std::span<const int> Arena::DecodeSelectedBlocks(size_t i) {",
+             "  for (size_t b = 0; b < 4; ++b) {",
+             "    const auto [begin, end] = BlockBytes(b);",
+             "    if (discard(b)) continue;",
+             "    Decode(begin, end);", "  }", "  return {};", "}"])),
+        ("block-skip-guard no guard at all",
+         lambda: check_block_skip_guard(fake_storage, [
+             "std::span<const int> Arena::DecodeBlocksInRankWindow(size_t i) {",
+             "  const auto [begin, end] = BlockBytes(0);",
+             "  return {};", "}"])),
     ]
     negatives = [
         ("epoch-zero legal wrap", lambda: check_epoch_zero(fake, [
@@ -430,6 +515,26 @@ def self_test() -> int:
          lambda: check_decode_noalloc(fake_storage, [
              "const uint8_t* DecodeBlock(uint32_t* out) {",
              "  *out = 1;", "  return nullptr;", "}"])),
+        ("block-skip-guard continue precedes BlockBytes",
+         lambda: check_block_skip_guard(fake_storage, [
+             "std::span<const int> Arena::DecodeSelectedBlocks(size_t i) {",
+             "  for (size_t b = 0; b < 4; ++b) {",
+             "    if (discard(b)) continue;",
+             "    const auto [begin, end] = BlockBytes(b);",
+             "    Decode(begin, end);", "  }", "  return {};", "}"])),
+        ("block-skip-guard delegating wrapper",
+         lambda: check_block_skip_guard(fake_storage, [
+             "std::span<const int> Arena::DecodeBlocksInRange(size_t i) {",
+             "  return DecodeSelectedBlocks(i, s, k, [](size_t) {",
+             "    return false; });", "}"])),
+        ("block-skip-guard full decoder is out of scope",
+         lambda: check_block_skip_guard(fake_storage, [
+             "bool Arena::DecodeListInto(size_t i, int* out) {",
+             "  const auto [begin, end] = BlockBytes(0);",
+             "  return true;", "}"])),
+        ("block-skip-guard declaration only",
+         lambda: check_block_skip_guard(fake_storage, [
+             "std::span<const int> DecodeBlocksInRange(size_t i) const;"])),
     ]
     ok = True
     for name, check in cases:

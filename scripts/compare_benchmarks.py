@@ -43,7 +43,7 @@ import sys
 ID_INT_FIELDS = {
     "k", "n", "threads", "shards", "j", "queries", "schema_version",
     "num_queries", "block", "batch_size", "delta", "inserts",
-    "block_entries",
+    "block_entries", "reps", "block_entries_decoded",
 }
 
 # Float fields that are sweep knobs, not measurements: without these in
@@ -57,10 +57,12 @@ ID_FLOAT_FIELDS = {
 # Fields whose regressions --fail-above should gate on (suffix or exact
 # match; mean_ms_per_query ends in "_per_query", not "_ms"). The kernel
 # section's per-unit metrics ("ns_per_candidate", "ns_per_entry") and
-# their throughput duals ("_per_sec" covers mcalls/mcandidates/mentries)
-# must be here or the drift gate is blind to the kernel benches.
+# their throughput duals ("_per_sec" covers mcalls/mcandidates/mentries,
+# and gb_per_sec; "_per_ns" covers the storage decode kernels'
+# entries_per_ns) must be here or the drift gate is blind to the kernel
+# and decode benches.
 TIMING_FIELDS = ("_ms", "ns_per_call", "ns_per_candidate", "ns_per_entry",
-                 "ns_per_query", "qps", "_per_sec", "wall_ms",
+                 "ns_per_query", "qps", "_per_sec", "_per_ns", "wall_ms",
                  "mean_ms_per_query")
 
 

@@ -1,0 +1,37 @@
+// Posting-entry types shared by the index and kernel layers.
+//
+// AugmentedEntry historically lived in invidx/augmented_inverted_index.h,
+// but the kernel filter phase needs the type to size its decoded-list
+// landing buffers (kernel headers may only include core/), so the plain
+// struct lives here and the index header re-exports it.
+
+#ifndef TOPK_CORE_POSTING_ENTRY_H_
+#define TOPK_CORE_POSTING_ENTRY_H_
+
+#include <cstddef>
+
+#include "core/types.h"
+
+namespace topk {
+
+/// Rank-augmented posting entry (Section 6.2): the rank at which the
+/// ranking places the list's item rides next to the ranking id, so
+/// Footrule contributions can be computed from the list alone.
+struct AugmentedEntry {
+  RankingId id;
+  Rank rank;
+};
+
+/// Skip accounting for partial decodes of block-compressed posting
+/// lists: how many blocks a range/window consumer considered, how many
+/// it discarded on metadata alone, and how many entries those discarded
+/// blocks held (never decoded, never touched in the byte stream).
+struct BlockSkipStats {
+  size_t blocks_considered = 0;
+  size_t blocks_skipped = 0;
+  size_t entries_skipped = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_POSTING_ENTRY_H_

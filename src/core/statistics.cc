@@ -14,6 +14,8 @@ const char* TickerName(Ticker ticker) {
       return "lists_dropped";
     case Ticker::kBlocksSkipped:
       return "blocks_skipped";
+    case Ticker::kBlocksDecoded:
+      return "blocks_decoded";
     case Ticker::kCandidates:
       return "candidates";
     case Ticker::kPrunedByLowerBound:

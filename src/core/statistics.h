@@ -26,6 +26,9 @@ enum class Ticker : int {
   kListsDropped,
   /// Blocks skipped by the |j - q(i)| > theta rule (Section 6.3).
   kBlocksSkipped,
+  /// Compressed posting blocks actually decoded (denominator partner of
+  /// kBlocksSkipped for the storage tier's block-skip ratio).
+  kBlocksDecoded,
   /// Distinct candidates produced by a filtering phase.
   kCandidates,
   /// Candidates rejected early by the lower bound (Section 6.2).

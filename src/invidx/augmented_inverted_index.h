@@ -10,16 +10,12 @@
 
 #include <span>
 
+#include "core/posting_entry.h"  // IWYU pragma: export (AugmentedEntry)
 #include "core/ranking.h"
 #include "core/types.h"
 #include "kernel/posting_arena.h"
 
 namespace topk {
-
-struct AugmentedEntry {
-  RankingId id;
-  Rank rank;
-};
 
 /// Two-pass counting build of the rank-augmented CSR arena over the whole
 /// store (lists id-sorted, directory sized max_item + 1). Shared by the

@@ -42,6 +42,15 @@ class FilterValidateEngine {
                                RawDistance theta_raw,
                                Statistics* stats = nullptr);
 
+  /// Query restricted to ids in [id_lo, id_hi]: the filter phase clips
+  /// each id-sorted list to the range before merging. Results are
+  /// identical to Query() filtered to the id range — the uncompressed
+  /// reference for the compressed tier's block-skip sweeps.
+  std::vector<RankingId> QueryIdRange(const PreparedQuery& query,
+                                      RawDistance theta_raw, RankingId id_lo,
+                                      RankingId id_hi,
+                                      Statistics* stats = nullptr);
+
  private:
   const RankingStore* store_;
   const PlainInvertedIndex* index_;

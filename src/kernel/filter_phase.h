@@ -41,9 +41,12 @@
 #define TOPK_KERNEL_FILTER_PHASE_H_
 
 #include <algorithm>
+#include <limits>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "core/posting_entry.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
 #include "core/types.h"
@@ -62,9 +65,14 @@ struct FilterScratch {
   /// DecodeList(item, scratch) instead of list(item) — the storage
   /// tier's block-compressed arena. At most two lists are live at once
   /// (the sorted two-list union), so two grow-only buffers cover every
-  /// sweep path with zero allocation inside the per-list loops.
+  /// sweep path with zero allocation inside the per-list loops. Plain
+  /// and rank-augmented decoded indexes land in separate buffers (the
+  /// entry types differ); an index picks its pair via its PostingEntry
+  /// typedef, see DecodeLandingA/B.
   std::vector<RankingId> decode_a;
   std::vector<RankingId> decode_b;
+  std::vector<AugmentedEntry> decode_aug_a;
+  std::vector<AugmentedEntry> decode_aug_b;
 };
 
 inline RankingId PostingEntryId(RankingId entry) { return entry; }
@@ -97,6 +105,49 @@ constexpr bool IndexHasDecodedLists() {
     return Index::kDecodedLists;
   } else {
     return false;
+  }
+}
+
+/// Whether a decoded-lists index additionally supports range-restricted
+/// partial decode — DecodeListInRange(item, id_lo, id_hi, landing,
+/// skip) returning a superset span of the list's entries in the id
+/// range, skipping disjoint compressed blocks on metadata alone.
+template <typename Index, typename Landing>
+constexpr bool IndexHasRangeDecode() {
+  return requires(const Index& index, Landing* landing, BlockSkipStats* s) {
+    index.DecodeListInRange(ItemId{0}, RankingId{0}, RankingId{0}, landing,
+                            s);
+  };
+}
+
+/// Whether a decoded-lists index serves rank-augmented entries (its
+/// PostingEntry typedef names AugmentedEntry); plain RankingId lists
+/// otherwise.
+template <typename Index>
+constexpr bool IndexHasAugmentedEntries() {
+  if constexpr (requires { typename Index::PostingEntry; }) {
+    return std::is_same_v<typename Index::PostingEntry, AugmentedEntry>;
+  } else {
+    return false;
+  }
+}
+
+/// The landing buffer matching the index's decoded entry type.
+template <typename Index>
+auto* DecodeLandingA(FilterScratch* scratch) {
+  if constexpr (IndexHasAugmentedEntries<Index>()) {
+    return &scratch->decode_aug_a;
+  } else {
+    return &scratch->decode_a;
+  }
+}
+
+template <typename Index>
+auto* DecodeLandingB(FilterScratch* scratch) {
+  if constexpr (IndexHasAugmentedEntries<Index>()) {
+    return &scratch->decode_aug_b;
+  } else {
+    return &scratch->decode_b;
   }
 }
 
@@ -170,7 +221,7 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
   // the list in the given scratch buffer (inline-tier lists come back as
   // direct spans, zero decode); a CSR index returns its arena span and
   // the buffer goes unused.
-  auto list_at = [&](uint32_t position, std::vector<RankingId>* landing) {
+  auto list_at = [&](uint32_t position, auto* landing) {
     if constexpr (IndexHasDecodedLists<Index>()) {
       return index.DecodeList(query[position], landing);
     } else {
@@ -180,7 +231,7 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
   };
 
   if (positions.size() == 1) {
-    const auto list = list_at(positions[0], &scratch->decode_a);
+    const auto list = list_at(positions[0], DecodeLandingA<Index>(scratch));
     AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
     for (const auto& entry : list) {
       scratch->candidates.push_back(PostingEntryId(entry));
@@ -189,8 +240,9 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
   }
   if constexpr (IndexHasIdSortedLists<Index>()) {
     if (positions.size() == 2) {
-      const auto first = list_at(positions[0], &scratch->decode_a);
-      const auto second = list_at(positions[1], &scratch->decode_b);
+      const auto first = list_at(positions[0], DecodeLandingA<Index>(scratch));
+      const auto second =
+          list_at(positions[1], DecodeLandingB<Index>(scratch));
       AddTicker(stats, Ticker::kPostingEntriesScanned,
                 first.size() + second.size());
       filter_detail::TwoListUnion(first, second, &scratch->candidates);
@@ -201,7 +253,7 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
   scratch->visited.EnsureCapacity(id_capacity);
   scratch->visited.NextEpoch();
   for (size_t li = 0; li < positions.size(); ++li) {
-    const auto list = list_at(positions[li], &scratch->decode_a);
+    const auto list = list_at(positions[li], DecodeLandingA<Index>(scratch));
     if constexpr (!IndexHasDecodedLists<Index>()) {
       if (li + 1 < positions.size()) {
         // Warm the next list's head while this one is scanned; its arena
@@ -216,6 +268,75 @@ std::span<const RankingId> FilterPhase(const Index& index, RankingView query,
             list[i + filter_detail::kStampPrefetchDistance]));
       }
       const RankingId id = PostingEntryId(list[i]);
+      if (!scratch->visited.TestAndSet(id)) {
+        scratch->candidates.push_back(id);
+      }
+    }
+  }
+  return scratch->candidates;
+}
+
+/// Range-restricted filter phase: the union of the accessible posting
+/// lists intersected with ranking ids in [id_lo, id_hi]. This is where
+/// the per-block skip metadata of the compressed arena pays off: an
+/// index exposing DecodeListInRange has every block whose
+/// [first_id, last_id] misses the range discarded without decoding (the
+/// returned span is a superset — whole overlapping blocks — so the scan
+/// still filters per entry); an id-sorted CSR index narrows each list
+/// with two binary searches; anything else scans fully and filters.
+/// Candidates come back in first-encounter order, deduplicated, exactly
+/// like FilterPhase. kPostingEntriesScanned ticks only entries actually
+/// decoded/visited; kBlocksSkipped / kPostingEntriesSkipped account the
+/// blocks (and their entries) discarded on metadata alone.
+template <typename Index>
+std::span<const RankingId> FilterPhaseIdRange(
+    const Index& index, RankingView query, RawDistance theta_raw,
+    DropMode drop, RankingId id_lo, RankingId id_hi, size_t id_capacity,
+    FilterScratch* scratch, Statistics* stats = nullptr) {
+  scratch->candidates.clear();
+  if (id_lo > id_hi) return scratch->candidates;
+  const std::vector<uint32_t> positions = SelectLists(
+      query, theta_raw, drop,
+      [&index](ItemId item) { return index.list_length(item); }, stats);
+
+  auto* landing = DecodeLandingA<Index>(scratch);
+  using Landing = std::remove_pointer_t<decltype(landing)>;
+  scratch->visited.EnsureCapacity(id_capacity);
+  scratch->visited.NextEpoch();
+  for (const uint32_t position : positions) {
+    const ItemId item = query[position];
+    auto list = [&] {
+      if constexpr (IndexHasRangeDecode<Index, Landing>()) {
+        BlockSkipStats skip;
+        const auto span =
+            index.DecodeListInRange(item, id_lo, id_hi, landing, &skip);
+        AddTicker(stats, Ticker::kBlocksSkipped, skip.blocks_skipped);
+        AddTicker(stats, Ticker::kPostingEntriesSkipped,
+                  skip.entries_skipped);
+        return span;
+      } else if constexpr (IndexHasDecodedLists<Index>()) {
+        return index.DecodeList(item, landing);
+      } else if constexpr (IndexHasIdSortedLists<Index>()) {
+        // CSR twin of the block skip: clip the sorted list to the range
+        // with two binary searches; the clipped prefix/suffix entries
+        // are never visited.
+        const auto full = index.list(item);
+        const size_t lo = filter_detail::GallopLowerBound(full, 0, id_lo);
+        const size_t hi =
+            id_hi == std::numeric_limits<RankingId>::max()
+                ? full.size()
+                : filter_detail::GallopLowerBound(full, lo, id_hi + 1);
+        AddTicker(stats, Ticker::kPostingEntriesSkipped,
+                  full.size() - (hi - lo));
+        return full.subspan(lo, hi - lo);
+      } else {
+        return index.list(item);
+      }
+    }();
+    AddTicker(stats, Ticker::kPostingEntriesScanned, list.size());
+    for (const auto& entry : list) {
+      const RankingId id = PostingEntryId(entry);
+      if (id < id_lo || id > id_hi) continue;  // superset-span overhang
       if (!scratch->visited.TestAndSet(id)) {
         scratch->candidates.push_back(id);
       }

@@ -7,6 +7,7 @@
 
 #include "invidx/drop_policy.h"
 #include "storage/compressed_arena.h"
+#include "storage/compressed_augmented.h"
 #include "storage/snapshot.h"
 
 namespace topk {
@@ -340,7 +341,12 @@ void MutableStore::MaybeEmitSnapshot(const MainSegment& segment) {
   } else {
     const auto arena = storage::CompressedPostingArena<RankingId>::FromArena(
         segment.index.arena());
+    // Freeze the augmented arena alongside the plain one so the snapshot
+    // serves the compressed augmented engine too (TOPKSNP2).
+    const auto augmented =
+        storage::CompressedAugmentedIndex::Build(segment.store);
     status = storage::WriteStoreSnapshot(segment.store, arena,
+                                         augmented.arena(),
                                          options_.snapshot_path);
   }
   MutexLock lock(&mutex_);

@@ -1,7 +1,7 @@
 // CompressedPostingArena: the block-compressed, mmap-adoptable twin of
 // the kernel CSR PostingArena.
 //
-// Four flat sections replace the CSR pair (entries, offsets):
+// Flat sections replace the CSR pair (entries, offsets):
 //
 //   lists_    one CompressedListMeta per posting list: entry count plus
 //             a head cursor into either the inline tier or the block
@@ -11,6 +11,9 @@
 //             metadata stays uncompressed so a range consumer can
 //             discard a block on [first_id, last_id] without touching
 //             the byte stream;
+//   ranks_    (AugmentedEntry arenas only) one BlockRankRange per block:
+//             min/max rank in the block, so a rank-windowed sweep can
+//             skip blocks the same way a range consumer skips on ids;
 //   inline_   raw entries of the short-list tier, concatenated: lists
 //             of <= kInlineMaxEntries entries are stored uncompressed
 //             (block + metadata overhead would exceed the savings) and
@@ -73,6 +76,27 @@ struct CompressedBlockMeta {
 };
 static_assert(sizeof(CompressedBlockMeta) == 16);
 
+/// Per-block rank bounds (4 bytes), present only for AugmentedEntry
+/// arenas: the min/max rank occurring in the block, so a rank-windowed
+/// sweep (the compressed augmented engine's discovery-tightened mode)
+/// can discard a block on metadata alone. The bounds are conservative
+/// supersets: max_rank saturates to kRankRangeUnbounded when the true
+/// maximum does not fit 16 bits, which window tests must treat as
+/// "+infinity" — a saturated block is never skipped on its high bound.
+struct BlockRankRange {
+  static constexpr uint16_t kRankRangeUnbounded = 0xFFFF;
+  uint16_t min_rank;
+  uint16_t max_rank;
+
+  /// Whether every rank in the block lies outside [lo, hi] — the sound
+  /// skip test (conservative under saturation in both directions).
+  bool DisjointFrom(uint32_t lo, uint32_t hi) const {
+    if (min_rank > hi) return true;
+    return max_rank != kRankRangeUnbounded && max_rank < lo;
+  }
+};
+static_assert(sizeof(BlockRankRange) == 4);
+
 /// A section that is either an owned vector (build path) or a borrowed
 /// view into externally owned memory (mmap adoption). Copy/move safe:
 /// accessors re-derive the view from whichever storage is live.
@@ -128,10 +152,14 @@ class CompressedPostingArena {
   /// Wraps mmap'd snapshot sections (which must outlive the arena) after
   /// bounds-validating all metadata. Fails with InvalidArgument on any
   /// inconsistency instead of risking an out-of-mapping decode.
+  /// `rank_ranges` is either empty (plain arenas, or augmented snapshots
+  /// that never exercised the rank-window path — skipping degrades to
+  /// full decode) or exactly one range per block.
   static Result<CompressedPostingArena> Adopt(
       std::span<const CompressedListMeta> lists,
       std::span<const CompressedBlockMeta> blocks,
-      std::span<const Entry> inline_entries, std::span<const uint8_t> bytes);
+      std::span<const Entry> inline_entries, std::span<const uint8_t> bytes,
+      std::span<const BlockRankRange> rank_ranges = {});
 
   size_t num_lists() const { return lists_.size(); }
   size_t num_entries() const { return num_entries_; }
@@ -159,11 +187,35 @@ class CompressedPostingArena {
   /// up front; decode stays memory-safe regardless).
   bool DecodeListInto(size_t i, Entry* out) const;
 
-  /// Compressed footprint in bytes across all four sections (whether
-  /// owned or mapped) — the numerator of bytes/entry.
+  /// Partial decode of list `i`: only blocks whose [first_id, last_id]
+  /// intersects [id_lo, id_hi] are decoded (concatenated into `scratch`);
+  /// disjoint blocks are discarded on metadata alone — their payload
+  /// bytes are never read. The result is a SUPERSET of the list's
+  /// entries in the id range (whole overlapping blocks; the caller
+  /// filters), in list order. Inline lists come back whole, as a direct
+  /// span. `skip`, when given, accounts the blocks considered/skipped.
+  std::span<const Entry> DecodeBlocksInRange(size_t i, RankingId id_lo,
+                                             RankingId id_hi,
+                                             std::vector<Entry>* scratch,
+                                             BlockSkipStats* skip) const;
+
+  /// Partial decode of list `i` by rank window: blocks whose
+  /// [min_rank, max_rank] misses [rank_lo, rank_hi] are discarded on
+  /// metadata alone. Superset semantics as DecodeBlocksInRange (decoded
+  /// blocks may hold out-of-window ranks; inline lists come back whole).
+  /// Without a rank-range section (plain arenas, legacy adoptions) no
+  /// block is skipped and the call degrades to a full decode.
+  std::span<const Entry> DecodeBlocksInRankWindow(size_t i, uint32_t rank_lo,
+                                                  uint32_t rank_hi,
+                                                  std::vector<Entry>* scratch,
+                                                  BlockSkipStats* skip) const;
+
+  /// Compressed footprint in bytes across all sections (whether owned
+  /// or mapped) — the numerator of bytes/entry.
   size_t CompressedBytes() const {
     return lists_.size() * sizeof(CompressedListMeta) +
            blocks_.size() * sizeof(CompressedBlockMeta) +
+           ranks_.size() * sizeof(BlockRankRange) +
            inline_.size() * sizeof(Entry) + bytes_.size();
   }
 
@@ -175,8 +227,8 @@ class CompressedPostingArena {
 
   /// Heap bytes actually held: ~0 when adopted from a mapping.
   size_t MemoryUsage() const {
-    return lists_.OwnedBytes() + blocks_.OwnedBytes() + inline_.OwnedBytes() +
-           bytes_.OwnedBytes();
+    return lists_.OwnedBytes() + blocks_.OwnedBytes() + ranks_.OwnedBytes() +
+           inline_.OwnedBytes() + bytes_.OwnedBytes();
   }
 
   size_t num_blocks() const { return blocks_.size(); }
@@ -188,6 +240,11 @@ class CompressedPostingArena {
   }
   std::span<const CompressedBlockMeta> block_metas() const {
     return blocks_.span();
+  }
+  /// One range per block for AugmentedEntry arenas built by FromArena;
+  /// empty for plain arenas (and legacy adoptions without the section).
+  std::span<const BlockRankRange> rank_ranges() const {
+    return ranks_.span();
   }
   std::span<const Entry> inline_entries() const { return inline_.span(); }
   std::span<const uint8_t> byte_stream() const { return bytes_.span(); }
@@ -205,8 +262,19 @@ class CompressedPostingArena {
     return {begin, end};
   }
 
+  /// Shared skeleton of the partial decodes: walks list `i`'s blocks,
+  /// skipping every block for which `discard(block_index)` is true
+  /// without touching its payload bytes, decoding the rest into
+  /// `scratch` back to back.
+  template <typename DiscardFn>
+  std::span<const Entry> DecodeSelectedBlocks(size_t i,
+                                              std::vector<Entry>* scratch,
+                                              BlockSkipStats* skip,
+                                              const DiscardFn& discard) const;
+
   SpanArray<CompressedListMeta> lists_;
   SpanArray<CompressedBlockMeta> blocks_;
+  SpanArray<BlockRankRange> ranks_;
   SpanArray<Entry> inline_;
   SpanArray<uint8_t> bytes_;
   size_t num_entries_ = 0;

@@ -35,5 +35,24 @@ std::vector<RankingId> CompressedFilterValidateEngine::Query(
   return results;
 }
 
+std::vector<RankingId> CompressedFilterValidateEngine::QueryIdRange(
+    const PreparedQuery& query, RawDistance theta_raw, RankingId id_lo,
+    RankingId id_hi, Statistics* stats) {
+  TOPK_DCHECK(query.k() == store_->k());
+
+  const std::span<const RankingId> candidates =
+      FilterPhaseIdRange(*index_, query.view(), theta_raw, options_.drop,
+                         id_lo, id_hi, store_->size(), &filter_, stats);
+  AddTicker(stats, Ticker::kCandidates, candidates.size());
+
+  std::vector<RankingId> results;
+  validator_.BindQuery(query.view(),
+                       static_cast<size_t>(store_->max_item()) + 1);
+  validator_.ValidateSpan(*store_, candidates, theta_raw, &results, stats);
+  std::sort(results.begin(), results.end());
+  AddTicker(stats, Ticker::kResults, results.size());
+  return results;
+}
+
 }  // namespace storage
 }  // namespace topk

@@ -41,6 +41,8 @@ class CompressedInvertedIndex {
   static constexpr bool kIdSortedLists = true;
   /// Lists are served through DecodeList(item, scratch), not list(item).
   static constexpr bool kDecodedLists = true;
+  /// Decoded entry type (selects the FilterScratch landing buffers).
+  using PostingEntry = RankingId;
 
   CompressedInvertedIndex() = default;
 
@@ -74,6 +76,16 @@ class CompressedInvertedIndex {
     return arena_.DecodeList(item, scratch);
   }
 
+  /// Partial decode for an id-range sweep: blocks disjoint from
+  /// [id_lo, id_hi] are skipped on metadata alone (payload untouched).
+  /// Superset semantics — see CompressedPostingArena::DecodeBlocksInRange.
+  std::span<const RankingId> DecodeListInRange(ItemId item, RankingId id_lo,
+                                               RankingId id_hi,
+                                               std::vector<RankingId>* scratch,
+                                               BlockSkipStats* skip) const {
+    return arena_.DecodeBlocksInRange(item, id_lo, id_hi, scratch, skip);
+  }
+
   size_t list_length(ItemId item) const { return arena_.list_length(item); }
   size_t num_indexed() const { return num_indexed_; }
   size_t num_entries() const { return arena_.num_entries(); }
@@ -104,6 +116,15 @@ class CompressedFilterValidateEngine {
   std::vector<RankingId> Query(const PreparedQuery& query,
                                RawDistance theta_raw,
                                Statistics* stats = nullptr);
+
+  /// Query restricted to ids in [id_lo, id_hi]: the filter phase decodes
+  /// only the posting blocks intersecting the range (kBlocksSkipped /
+  /// kPostingEntriesSkipped account the savings). Results are identical
+  /// to Query() filtered to the id range.
+  std::vector<RankingId> QueryIdRange(const PreparedQuery& query,
+                                      RawDistance theta_raw, RankingId id_lo,
+                                      RankingId id_hi,
+                                      Statistics* stats = nullptr);
 
  private:
   const RankingStore* store_;

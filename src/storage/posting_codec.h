@@ -20,6 +20,15 @@
 // buffers and never allocate (`decode-noalloc` rule in
 // scripts/check_invariants.py); a malformed stream makes them return
 // false instead of reading past the block's byte range.
+//
+// Each decoder exists twice: a *Scalar reference (the plain group loop,
+// compiled in every build) and the public dispatching name, which under
+// a SIMD build routes the byte stream through the shuffle-table decode
+// and vectorized delta prefix sum of storage/varint_simd.h. The two are
+// bit-identical — same values, same wraparound, same truncation
+// failures — pinned per length and per fuzzed stream by
+// tests/storage_simd_decode_test.cc and benchmarked (GB/s, entries/ns)
+// by the storage bench's decode_throughput rows.
 
 #ifndef TOPK_STORAGE_POSTING_CODEC_H_
 #define TOPK_STORAGE_POSTING_CODEC_H_
@@ -28,10 +37,11 @@
 #include <span>
 #include <vector>
 
+#include "core/posting_entry.h"
 #include "core/status.h"
 #include "core/types.h"
-#include "invidx/augmented_inverted_index.h"
 #include "storage/group_varint.h"
+#include "storage/varint_simd.h"
 
 namespace topk {
 namespace storage {
@@ -57,12 +67,12 @@ inline void EncodeIdBlock(std::span<const RankingId> entries,
   }
 }
 
-/// Decodes one RankingId block of `count` entries into `out` (pre-sized
-/// by the caller). Returns false without completing on a malformed
-/// stream. No allocation.
-inline bool DecodeIdBlock(uint32_t first_id, uint32_t count,
-                          const uint8_t* begin, const uint8_t* end,
-                          RankingId* out) {
+/// Scalar reference decode of one RankingId block of `count` entries
+/// into `out` (pre-sized by the caller). Returns false without
+/// completing on a malformed stream. No allocation.
+inline bool DecodeIdBlockScalar(uint32_t first_id, uint32_t count,
+                                const uint8_t* begin, const uint8_t* end,
+                                RankingId* out) {
   TOPK_DCHECK(count >= 1 && count <= kBlockEntries);
   out[0] = first_id;
   uint32_t previous = first_id;
@@ -78,6 +88,24 @@ inline bool DecodeIdBlock(uint32_t first_id, uint32_t count,
     }
     produced += m;
   }
+  return true;
+}
+
+/// Decodes one RankingId block of `count` entries into `out` (pre-sized
+/// by the caller); bit-identical to DecodeIdBlockScalar. Under a SIMD
+/// build the deltas land in `out` through the shuffle-table decode and
+/// become absolute ids via the vectorized prefix sum, in place. Returns
+/// false on a malformed stream. No allocation.
+inline bool DecodeIdBlock(uint32_t first_id, uint32_t count,
+                          const uint8_t* begin, const uint8_t* end,
+                          RankingId* out) {
+  TOPK_DCHECK(count >= 1 && count <= kBlockEntries);
+  out[0] = first_id;
+  if (count == 1) return true;
+  if (DecodeValuesSimd(begin, end, count - 1, out + 1) == nullptr) {
+    return false;
+  }
+  DeltaPrefixSumInPlace(out + 1, count - 1, first_id);
   return true;
 }
 
@@ -97,11 +125,13 @@ inline void EncodeAugmentedBlock(std::span<const AugmentedEntry> entries,
   GroupVarintEncode(values, count, bytes);
 }
 
-/// Decodes one AugmentedEntry block of `count` entries into `out`
-/// (pre-sized). Returns false on a malformed stream. No allocation.
-inline bool DecodeAugmentedBlock(uint32_t first_id, uint32_t count,
-                                 const uint8_t* begin, const uint8_t* end,
-                                 AugmentedEntry* out) {
+/// Scalar reference decode of one AugmentedEntry block of `count`
+/// entries into `out` (pre-sized). Returns false on a malformed stream.
+/// No allocation.
+inline bool DecodeAugmentedBlockScalar(uint32_t first_id, uint32_t count,
+                                       const uint8_t* begin,
+                                       const uint8_t* end,
+                                       AugmentedEntry* out) {
   TOPK_DCHECK(count >= 1 && count <= kBlockEntries);
   uint32_t values[2 * kBlockEntries];
   const size_t total = 2 * static_cast<size_t>(count) - 1;
@@ -112,6 +142,27 @@ inline bool DecodeAugmentedBlock(uint32_t first_id, uint32_t count,
     if (begin == nullptr) return false;
     decoded += m;
   }
+  out[0] = AugmentedEntry{first_id, values[0]};
+  uint32_t previous = first_id;
+  for (uint32_t i = 1; i < count; ++i) {
+    previous += values[2 * i - 1];
+    out[i] = AugmentedEntry{previous, values[2 * i]};
+  }
+  return true;
+}
+
+/// Decodes one AugmentedEntry block of `count` entries into `out`
+/// (pre-sized); bit-identical to DecodeAugmentedBlockScalar. The
+/// interleaved value stream decodes through the SIMD kernel; the
+/// delta/rank de-interleave stays scalar (it is a fraction of the
+/// varint cost). Returns false on a malformed stream. No allocation.
+inline bool DecodeAugmentedBlock(uint32_t first_id, uint32_t count,
+                                 const uint8_t* begin, const uint8_t* end,
+                                 AugmentedEntry* out) {
+  TOPK_DCHECK(count >= 1 && count <= kBlockEntries);
+  uint32_t values[2 * kBlockEntries];
+  const size_t total = 2 * static_cast<size_t>(count) - 1;
+  if (DecodeValuesSimd(begin, end, total, values) == nullptr) return false;
   out[0] = AugmentedEntry{first_id, values[0]};
   uint32_t previous = first_id;
   for (uint32_t i = 1; i < count; ++i) {

@@ -67,9 +67,11 @@ uint64_t SnapshotChecksum(const void* data, size_t size) {
   return FnvUpdate(kFnvOffset, data, size);
 }
 
-Status WriteStoreSnapshot(const RankingStore& store,
-                          const CompressedPostingArena<RankingId>& arena,
-                          const std::string& path) {
+Status WriteStoreSnapshot(
+    const RankingStore& store,
+    const CompressedPostingArena<RankingId>& arena,
+    const CompressedPostingArena<AugmentedEntry>& augmented_arena,
+    const std::string& path) {
   if (store.empty()) {
     return Status::InvalidArgument("cannot snapshot an empty store");
   }
@@ -81,6 +83,16 @@ Status WriteStoreSnapshot(const RankingStore& store,
       arena.block_metas();
   const std::span<const RankingId> inline_entries = arena.inline_entries();
   const std::span<const uint8_t> byte_stream = arena.byte_stream();
+  const std::span<const CompressedListMeta> aug_list_metas =
+      augmented_arena.list_metas();
+  const std::span<const CompressedBlockMeta> aug_block_metas =
+      augmented_arena.block_metas();
+  const std::span<const BlockRankRange> aug_rank_ranges =
+      augmented_arena.rank_ranges();
+  const std::span<const AugmentedEntry> aug_inline_entries =
+      augmented_arena.inline_entries();
+  const std::span<const uint8_t> aug_byte_stream =
+      augmented_arena.byte_stream();
 
   const SectionPayload payloads[kSnapshotSectionCount] = {
       {SnapshotSection::kItems, items.data(), items.size_bytes()},
@@ -96,6 +108,16 @@ Status WriteStoreSnapshot(const RankingStore& store,
        inline_entries.size_bytes()},
       {SnapshotSection::kByteStream, byte_stream.data(),
        byte_stream.size_bytes()},
+      {SnapshotSection::kAugListMetas, aug_list_metas.data(),
+       aug_list_metas.size_bytes()},
+      {SnapshotSection::kAugBlockMetas, aug_block_metas.data(),
+       aug_block_metas.size_bytes()},
+      {SnapshotSection::kAugRankRanges, aug_rank_ranges.data(),
+       aug_rank_ranges.size_bytes()},
+      {SnapshotSection::kAugInlineEntries, aug_inline_entries.data(),
+       aug_inline_entries.size_bytes()},
+      {SnapshotSection::kAugByteStream, aug_byte_stream.data(),
+       aug_byte_stream.size_bytes()},
   };
 
   SnapshotSection table[kSnapshotSectionCount] = {};
@@ -113,10 +135,13 @@ Status WriteStoreSnapshot(const RankingStore& store,
   std::memcpy(header.magic, kSnapshotMagic, sizeof(header.magic));
   header.version = kSnapshotVersion;
   header.section_count = kSnapshotSectionCount;
+  header.byte_order = kSnapshotByteOrder;
+  header.layout = kSnapshotLayout;
   header.k = store.k();
   header.max_item = store.max_item();
   header.num_rankings = store.size();
   header.num_arena_entries = arena.num_entries();
+  header.num_augmented_entries = augmented_arena.num_entries();
   header.directory_checksum = SnapshotChecksum(table, sizeof(table));
 
   FileCloser out(std::fopen(path.c_str(), "wb"));
@@ -140,6 +165,14 @@ Status WriteStoreSnapshot(const RankingStore& store,
                                    path);
   }
   return Status::OK();
+}
+
+Status WriteStoreSnapshot(const RankingStore& store,
+                          const CompressedPostingArena<RankingId>& arena,
+                          const std::string& path) {
+  const CompressedAugmentedIndex augmented =
+      CompressedAugmentedIndex::Build(store);
+  return WriteStoreSnapshot(store, arena, augmented.arena(), path);
 }
 
 /// RAII mmap of a whole file, read-only.
@@ -261,6 +294,16 @@ Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path) {
   if (header.section_count != kSnapshotSectionCount) {
     return Status::InvalidArgument("unexpected snapshot section count");
   }
+  if (header.byte_order != kSnapshotByteOrder) {
+    return Status::InvalidArgument(
+        "snapshot byte order differs from this machine's (snapshots are "
+        "host-endian cache files, not an interchange format)");
+  }
+  if (header.layout != kSnapshotLayout) {
+    return Status::InvalidArgument(
+        "snapshot element layout differs from this build's (word size or "
+        "struct layout mismatch)");
+  }
   if (header.k == 0 || header.num_rankings == 0) {
     return Status::InvalidArgument("snapshot declares an empty store");
   }
@@ -292,6 +335,21 @@ Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path) {
   auto byte_stream = SectionSpan<uint8_t>(base, file_size, table[6],
                                           SnapshotSection::kByteStream);
   if (!byte_stream.ok()) return byte_stream.status();
+  auto aug_list_metas = SectionSpan<CompressedListMeta>(
+      base, file_size, table[7], SnapshotSection::kAugListMetas);
+  if (!aug_list_metas.ok()) return aug_list_metas.status();
+  auto aug_block_metas = SectionSpan<CompressedBlockMeta>(
+      base, file_size, table[8], SnapshotSection::kAugBlockMetas);
+  if (!aug_block_metas.ok()) return aug_block_metas.status();
+  auto aug_rank_ranges = SectionSpan<BlockRankRange>(
+      base, file_size, table[9], SnapshotSection::kAugRankRanges);
+  if (!aug_rank_ranges.ok()) return aug_rank_ranges.status();
+  auto aug_inline_entries = SectionSpan<AugmentedEntry>(
+      base, file_size, table[10], SnapshotSection::kAugInlineEntries);
+  if (!aug_inline_entries.ok()) return aug_inline_entries.status();
+  auto aug_byte_stream = SectionSpan<uint8_t>(
+      base, file_size, table[11], SnapshotSection::kAugByteStream);
+  if (!aug_byte_stream.ok()) return aug_byte_stream.status();
 
   // Overflow-safe n * k: a hostile header cannot wrap the cell count
   // into coincidental agreement with the section sizes.
@@ -312,12 +370,27 @@ Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path) {
                                    "max_item");
   }
 
+  if (aug_list_metas.value().size() !=
+      static_cast<size_t>(header.max_item) + 1) {
+    return Status::InvalidArgument("snapshot augmented list directory does "
+                                   "not cover max_item");
+  }
+
   auto arena = CompressedPostingArena<RankingId>::Adopt(
       list_metas.value(), block_metas.value(), inline_entries.value(),
       byte_stream.value());
   if (!arena.ok()) return arena.status();
   if (arena.value().num_entries() != header.num_arena_entries) {
     return Status::InvalidArgument("snapshot arena entry count mismatch");
+  }
+  auto aug_arena = CompressedPostingArena<AugmentedEntry>::Adopt(
+      aug_list_metas.value(), aug_block_metas.value(),
+      aug_inline_entries.value(), aug_byte_stream.value(),
+      aug_rank_ranges.value());
+  if (!aug_arena.ok()) return aug_arena.status();
+  if (aug_arena.value().num_entries() != header.num_augmented_entries) {
+    return Status::InvalidArgument("snapshot augmented arena entry count "
+                                   "mismatch");
   }
 
   RankingStore store = RankingStore::AdoptExternal(
@@ -327,8 +400,11 @@ Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path) {
   CompressedInvertedIndex index = CompressedInvertedIndex::FromParts(
       std::move(arena).ValueOrDie(),
       static_cast<size_t>(header.num_rankings));
+  CompressedAugmentedIndex augmented = CompressedAugmentedIndex::FromParts(
+      std::move(aug_arena).ValueOrDie(),
+      static_cast<size_t>(header.num_rankings));
   return StoreSnapshot(std::move(mapping), std::move(store),
-                       std::move(index));
+                       std::move(index), std::move(augmented));
 }
 
 Status VerifySnapshotChecksums(const std::string& path) {
@@ -342,6 +418,8 @@ Status VerifySnapshotChecksums(const std::string& path) {
       std::memcmp(header.magic, kSnapshotMagic, sizeof(header.magic)) != 0 ||
       header.version != kSnapshotVersion ||
       header.section_count != kSnapshotSectionCount ||
+      header.byte_order != kSnapshotByteOrder ||
+      header.layout != kSnapshotLayout ||
       std::fread(table, 1, sizeof(table), in.file) != sizeof(table)) {
     return Status::InvalidArgument("snapshot header unreadable: " + path);
   }

@@ -1,30 +1,39 @@
 // mmap-backed store snapshots: the larger-than-RAM load path.
 //
 // A snapshot file freezes a RankingStore plus the compressed posting
-// arena of its plain inverted index into one page-aligned, sectioned
-// image, so OpenStoreSnapshot can mmap the file and serve queries
-// zero-copy: the three store columns and the four arena sections are
-// pointed at in place (RankingStore::AdoptExternal,
-// CompressedPostingArena::Adopt) and page in on demand. Nothing but the
-// header, the section table, and the arena *metadata* sections is
-// touched at open time — the posting payload and the row columns stay
-// cold until a query walks them, which is what makes a collection
-// larger than RAM servable (bench/bench_storage.cc evidences this with
-// mincore residency counts).
+// arenas of BOTH its serving indexes — the plain inverted index and the
+// rank-augmented index — into one page-aligned, sectioned image, so
+// OpenStoreSnapshot can mmap the file and serve queries zero-copy: the
+// three store columns and the arena sections are pointed at in place
+// (RankingStore::AdoptExternal, CompressedPostingArena::Adopt) and page
+// in on demand. Nothing but the header, the section table, and the
+// arena *metadata* sections is touched at open time — the posting
+// payloads and the row columns stay cold until a query walks them,
+// which is what makes a collection larger than RAM servable
+// (bench/bench_storage.cc evidences this with mincore residency
+// counts).
 //
 // Layout (all integers in host byte order — like io/serialization.h
 // this is cache persistence, not an interchange format; see DESIGN.md
-// "On-disk formats"):
+// "On-disk formats". Unlike TOPKSNP1, the header now *records* the
+// writer's byte order and element-layout fingerprint so a reader on a
+// foreign ABI fails with a Status instead of misinterpreting the
+// sections):
 //
-//   SnapshotHeader        magic "TOPKSNP1", version, counts (k, n,
-//                         max_item, arena entries), and an FNV-1a
+//   SnapshotHeader        magic "TOPKSNP2", version, byte-order and
+//                         layout tags, counts (k, n, max_item, arena
+//                         entries for both tiers), and an FNV-1a
 //                         checksum over the section table;
-//   SectionEntry[7]       id, byte offset, byte size, FNV-1a checksum
+//   SectionEntry[12]      id, byte offset, byte size, FNV-1a checksum
 //                         of the payload;
 //   sections              each padded to a 4096-byte boundary:
 //                         1 items, 2 sorted_items, 3 sorted_ranks,
 //                         4 list metas, 5 block metas, 6 inline
-//                         entries, 7 block byte stream.
+//                         entries, 7 block byte stream (the plain
+//                         arena), then the augmented arena:
+//                         8 list metas, 9 block metas, 10 per-block
+//                         rank ranges, 11 inline entries, 12 byte
+//                         stream.
 //
 // Integrity is two-tier by design: OpenStoreSnapshot verifies the
 // header and the section-table checksum and bounds-checks every
@@ -42,28 +51,46 @@
 
 #include "core/ranking.h"
 #include "core/status.h"
+#include "storage/compressed_augmented.h"
 #include "storage/compressed_index.h"
 
 namespace topk {
 namespace storage {
 
 inline constexpr char kSnapshotMagic[8] = {'T', 'O', 'P', 'K',
-                                           'S', 'N', 'P', '1'};
-inline constexpr uint32_t kSnapshotVersion = 1;
-inline constexpr uint32_t kSnapshotSectionCount = 7;
+                                           'S', 'N', 'P', '2'};
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotSectionCount = 12;
 inline constexpr size_t kSnapshotPageSize = 4096;
+
+/// Stored in the header as a native integer: a reader whose byte order
+/// differs from the writer's sees the bytes permuted and rejects.
+inline constexpr uint32_t kSnapshotByteOrder = 0x01020304u;
+
+/// Element-layout fingerprint: the packed sizeofs of every type the
+/// sections are reinterpreted as. A writer compiled with a different
+/// struct layout (padding, word size) produces a different tag, and
+/// the reader rejects instead of walking misaligned metadata.
+inline constexpr uint32_t kSnapshotLayout =
+    (static_cast<uint32_t>(sizeof(CompressedListMeta)) << 0) |
+    (static_cast<uint32_t>(sizeof(CompressedBlockMeta)) << 8) |
+    (static_cast<uint32_t>(sizeof(BlockRankRange)) << 16) |
+    (static_cast<uint32_t>(sizeof(AugmentedEntry)) << 24);
 
 struct SnapshotHeader {
   char magic[8];
   uint32_t version;
   uint32_t section_count;
+  uint32_t byte_order;  // kSnapshotByteOrder as written by the producer
+  uint32_t layout;      // kSnapshotLayout of the producer's build
   uint32_t k;
   uint32_t max_item;
   uint64_t num_rankings;
-  uint64_t num_arena_entries;
-  uint64_t directory_checksum;  // FNV-1a over the section table bytes
+  uint64_t num_arena_entries;      // plain arena
+  uint64_t num_augmented_entries;  // augmented arena
+  uint64_t directory_checksum;     // FNV-1a over the section table bytes
 };
-static_assert(sizeof(SnapshotHeader) == 48);
+static_assert(sizeof(SnapshotHeader) == 64);
 
 struct SnapshotSection {
   enum Id : uint32_t {
@@ -74,6 +101,11 @@ struct SnapshotSection {
     kBlockMetas = 5,
     kInlineEntries = 6,
     kByteStream = 7,
+    kAugListMetas = 8,
+    kAugBlockMetas = 9,
+    kAugRankRanges = 10,
+    kAugInlineEntries = 11,
+    kAugByteStream = 12,
   };
   uint32_t id;
   uint32_t reserved;  // zero; keeps the 64-bit fields aligned
@@ -86,16 +118,26 @@ static_assert(sizeof(SnapshotSection) == 32);
 /// FNV-1a 64-bit, the same checksum io/serialization.cc uses.
 uint64_t SnapshotChecksum(const void* data, size_t size);
 
-/// Writes `store` + `arena` (the compressed arena of the store's plain
-/// inverted index) as a snapshot at `path`. The store must not be
-/// empty; the arena must have one list per item id in [0, max_item].
+/// Writes `store` + both compressed arenas (plain inverted index and
+/// rank-augmented index over the same store) as a snapshot at `path`.
+/// The store must not be empty; both arenas must have one list per
+/// item id in [0, max_item].
+Status WriteStoreSnapshot(
+    const RankingStore& store,
+    const CompressedPostingArena<RankingId>& arena,
+    const CompressedPostingArena<AugmentedEntry>& augmented_arena,
+    const std::string& path);
+
+/// Convenience overload: builds and compresses the augmented arena from
+/// `store` (one extra indexing pass at write time).
 Status WriteStoreSnapshot(const RankingStore& store,
                           const CompressedPostingArena<RankingId>& arena,
                           const std::string& path);
 
-/// An open snapshot: a frozen RankingStore and CompressedInvertedIndex
-/// served zero-copy out of one shared mmap'd region. Move-only; the
-/// mapping unmaps when the last StoreSnapshot referencing it dies.
+/// An open snapshot: a frozen RankingStore plus the compressed plain
+/// AND augmented indexes, all served zero-copy out of one shared
+/// mmap'd region. Move-only; the mapping unmaps when the last
+/// StoreSnapshot referencing it dies.
 class StoreSnapshot {
  public:
   StoreSnapshot(StoreSnapshot&&) = default;
@@ -103,6 +145,9 @@ class StoreSnapshot {
 
   const RankingStore& store() const { return store_; }
   const CompressedInvertedIndex& index() const { return index_; }
+  const CompressedAugmentedIndex& augmented_index() const {
+    return augmented_;
+  }
 
   /// Total bytes mapped (the file size).
   size_t mapped_bytes() const;
@@ -119,20 +164,24 @@ class StoreSnapshot {
   class Mapping;  // RAII mmap region (defined in snapshot.cc)
 
   StoreSnapshot(std::shared_ptr<Mapping> mapping, RankingStore store,
-                CompressedInvertedIndex index)
+                CompressedInvertedIndex index,
+                CompressedAugmentedIndex augmented)
       : mapping_(std::move(mapping)),
         store_(std::move(store)),
-        index_(std::move(index)) {}
+        index_(std::move(index)),
+        augmented_(std::move(augmented)) {}
 
   std::shared_ptr<Mapping> mapping_;
   RankingStore store_;
   CompressedInvertedIndex index_;
+  CompressedAugmentedIndex augmented_;
 };
 
-/// Maps `path` and wires the zero-copy store + index. Verifies the
-/// header, the section-table checksum, section bounds/alignment, and
-/// the arena metadata; does NOT read the payload sections (see the
-/// header comment for why).
+/// Maps `path` and wires the zero-copy store + indexes. Verifies the
+/// header (including the byte-order and layout tags), the
+/// section-table checksum, section bounds/alignment, and the arena
+/// metadata; does NOT read the payload sections (see the header
+/// comment for why).
 Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path);
 
 /// Reads every section payload and verifies its checksum. O(file

@@ -1,0 +1,203 @@
+// SIMD group-varint decode: the storage tier's vector kernels.
+//
+// Group varint's control byte makes the decode side table-drivable: the
+// byte indexes a 256-entry table of byte-shuffle masks that expand the
+// 1..4-byte little-endian payloads of one group straight into four
+// zero-extended 32-bit lanes with a single PSHUFB (SSSE3) / TBL (NEON),
+// plus a total-payload-length table that advances the cursor without
+// touching the lengths individually. Delta streams then become absolute
+// ids through a vectorized inclusive prefix sum (4 lanes under
+// SSE4.2/NEON, 8 under AVX2).
+//
+// Dispatch mirrors kernel/simd.h exactly: compile-time only, driven by
+// the TOPK_SIMD option plus whatever ISA -march already targets. Both
+// x86 tiers the kernel layer distinguishes (SSE4.2, AVX2) include SSSE3,
+// so the shuffle decode is available on either; AVX2 additionally widens
+// the prefix sum. The scalar group loop in storage/group_varint.h stays
+// the reference implementation in every build — the SIMD paths are
+// bit-identical to it (wraparound uint32 arithmetic in the prefix sum,
+// same truncation failures), which tests/storage_simd_decode_test.cc
+// pins per length and per fuzzed stream.
+//
+// Decode contract (same as the scalar codec): raw pointers against a
+// hard stream end, nullptr on truncation, no allocation anywhere
+// (`decode-noalloc` in scripts/check_invariants.py covers these bodies
+// like every other Decode* in src/storage/).
+
+#ifndef TOPK_STORAGE_VARINT_SIMD_H_
+#define TOPK_STORAGE_VARINT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernel/simd.h"
+#include "storage/group_varint.h"
+
+#if defined(TOPK_SIMD_AVX2) || defined(TOPK_SIMD_SSE42)
+#define TOPK_DECODE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(TOPK_SIMD_NEON)
+#define TOPK_DECODE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace topk {
+namespace storage {
+
+#if defined(TOPK_SIMD_AVX2)
+inline constexpr const char* kDecodeBackendName = "ssse3+avx2";
+#elif defined(TOPK_SIMD_SSE42)
+inline constexpr const char* kDecodeBackendName = "ssse3";
+#elif defined(TOPK_SIMD_NEON)
+inline constexpr const char* kDecodeBackendName = "neon";
+#else
+inline constexpr const char* kDecodeBackendName = "scalar";
+#endif
+
+namespace varint_detail {
+
+/// Per-control-byte decode tables: a 16-byte shuffle mask expanding the
+/// group's packed payload into four 32-bit lanes (0x80 lanes shuffle to
+/// zero under both PSHUFB and TBL), and the group's total payload length.
+struct GroupVarintTables {
+  alignas(16) uint8_t shuffle[256][16];
+  uint8_t length[256];
+};
+
+constexpr GroupVarintTables MakeGroupVarintTables() {
+  GroupVarintTables tables{};
+  for (unsigned control = 0; control < 256; ++control) {
+    uint8_t offset = 0;
+    for (unsigned lane = 0; lane < 4; ++lane) {
+      const uint8_t length =
+          static_cast<uint8_t>(((control >> (2 * lane)) & 0x3u) + 1u);
+      for (unsigned byte = 0; byte < 4; ++byte) {
+        tables.shuffle[control][4 * lane + byte] =
+            byte < length ? static_cast<uint8_t>(offset + byte)
+                          : static_cast<uint8_t>(0x80);
+      }
+      offset = static_cast<uint8_t>(offset + length);
+    }
+    tables.length[control] = offset;
+  }
+  return tables;
+}
+
+inline constexpr GroupVarintTables kGroupVarintTables =
+    MakeGroupVarintTables();
+
+/// A full group needs the control byte plus at most 16 payload bytes
+/// readable for the unconditional 16-byte load the shuffle consumes.
+inline constexpr ptrdiff_t kGroupLoadSlack = 17;
+
+}  // namespace varint_detail
+
+/// Decodes `count` group-varint values from `in` into `out`, returning
+/// the advanced cursor or nullptr on a truncated stream — bit- and
+/// failure-identical to chaining GroupVarintDecodeGroup. Full groups
+/// with at least 17 readable bytes take the shuffle-table fast path
+/// (one table load, one unaligned load, one shuffle, one store); the
+/// trailing partial group and the last full groups of a nearly-exhausted
+/// stream fall back to the scalar reference, which also preserves its
+/// exact per-value truncation semantics. No allocation.
+inline const uint8_t* DecodeValuesSimd(const uint8_t* in, const uint8_t* end,
+                                       size_t count, uint32_t* out) {
+  size_t produced = 0;
+#if defined(TOPK_DECODE_SIMD_X86)
+  using varint_detail::kGroupVarintTables;
+  while (produced + 4 <= count &&
+         end - in >= varint_detail::kGroupLoadSlack) {
+    const uint8_t control = *in;
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 1));
+    const __m128i mask = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kGroupVarintTables.shuffle[control]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + produced),
+                     _mm_shuffle_epi8(raw, mask));
+    in += 1 + kGroupVarintTables.length[control];
+    produced += 4;
+  }
+#elif defined(TOPK_DECODE_SIMD_NEON)
+  using varint_detail::kGroupVarintTables;
+  while (produced + 4 <= count &&
+         end - in >= varint_detail::kGroupLoadSlack) {
+    const uint8_t control = *in;
+    const uint8x16_t raw = vld1q_u8(in + 1);
+    const uint8x16_t mask = vld1q_u8(kGroupVarintTables.shuffle[control]);
+    vst1q_u8(reinterpret_cast<uint8_t*>(out + produced),
+             vqtbl1q_u8(raw, mask));
+    in += 1 + kGroupVarintTables.length[control];
+    produced += 4;
+  }
+#endif
+  while (produced < count) {
+    const size_t m = count - produced < 4 ? count - produced : 4;
+    in = GroupVarintDecodeGroup(in, end, m, out + produced);
+    if (in == nullptr) return nullptr;
+    produced += m;
+  }
+  return in;
+}
+
+/// Turns `count` deltas in `values` into absolute values in place:
+/// values[i] becomes base + values[0] + ... + values[i], with uint32
+/// wraparound — bit-identical to the scalar running sum. Vectorized as
+/// an inclusive prefix sum (shift-and-add within the register, carry
+/// broadcast between iterations); the scalar tail finishes lengths that
+/// are not a lane multiple.
+inline void DeltaPrefixSumInPlace(uint32_t* values, size_t count,
+                                  uint32_t base) {
+  size_t i = 0;
+#if defined(TOPK_SIMD_AVX2)
+  __m256i running = _mm256_set1_epi32(static_cast<int>(base));
+  for (; i + 8 <= count; i += 8) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    // In-lane inclusive scan, then carry the low lane's total into the
+    // high lane (permute2x128 with a zeroed low half + broadcast of each
+    // lane's last element).
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    const __m256i low_lane = _mm256_permute2x128_si256(x, x, 0x08);
+    x = _mm256_add_epi32(x, _mm256_shuffle_epi32(low_lane, 0xFF));
+    x = _mm256_add_epi32(x, running);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + i), x);
+    running = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(7));
+  }
+  uint32_t previous = i > 0 ? values[i - 1] : base;
+#elif defined(TOPK_DECODE_SIMD_X86)
+  __m128i running = _mm_set1_epi32(static_cast<int>(base));
+  for (; i + 4 <= count; i += 4) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+    x = _mm_add_epi32(x, running);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(values + i), x);
+    running = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  uint32_t previous = i > 0 ? values[i - 1] : base;
+#elif defined(TOPK_DECODE_SIMD_NEON)
+  uint32x4_t running = vdupq_n_u32(base);
+  const uint32x4_t zero = vdupq_n_u32(0);
+  for (; i + 4 <= count; i += 4) {
+    uint32x4_t x = vld1q_u32(values + i);
+    x = vaddq_u32(x, vextq_u32(zero, x, 3));
+    x = vaddq_u32(x, vextq_u32(zero, x, 2));
+    x = vaddq_u32(x, running);
+    vst1q_u32(values + i, x);
+    running = vdupq_laneq_u32(x, 3);
+  }
+  uint32_t previous = i > 0 ? values[i - 1] : base;
+#else
+  uint32_t previous = base;
+#endif
+  for (; i < count; ++i) {
+    previous += values[i];
+    values[i] = previous;
+  }
+}
+
+}  // namespace storage
+}  // namespace topk
+
+#endif  // TOPK_STORAGE_VARINT_SIMD_H_

@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include "invidx/plain_inverted_index.h"
 #include "mutate/mutable_store.h"
 #include "storage/compressed_arena.h"
+#include "storage/compressed_augmented.h"
 #include "storage/snapshot.h"
 #include "test_util.h"
 
@@ -259,6 +261,69 @@ TEST(StoreSnapshot, MergeEmitsLoadableSnapshot) {
   const RawDistance theta = MaxDistance(frozen.k()) / 3;
   for (const auto& query : testutil::MakeQueries(rebuilt, 6, 31)) {
     EXPECT_EQ(tier.Query(query, theta), reference.Query(query, theta));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreSnapshot, RejectsForeignByteOrderAndLayout) {
+  const RankingStore store = testutil::MakeClusteredStore(8, 150, 37);
+  const std::string path = TempPath("foreign-abi.snap");
+  WriteSnapshotOf(store, path);
+  const std::vector<uint8_t> good = ReadFile(path);
+  // The byte_order and layout tags sit at header offsets 16 and 20; the
+  // directory checksum covers only the section table, so tampering with
+  // either tag needs no checksum re-fix to reach the guard.
+  {
+    // A byte-swapped writer: the reader sees the tag permuted.
+    std::vector<uint8_t> bad = good;
+    std::reverse(bad.begin() + 16, bad.begin() + 20);
+    WriteBytes(path, bad);
+    auto opened = OpenStoreSnapshot(path);
+    ASSERT_FALSE(opened.ok());
+    EXPECT_NE(opened.status().ToString().find("byte order"),
+              std::string::npos)
+        << opened.status().ToString();
+    EXPECT_FALSE(VerifySnapshotChecksums(path).ok());
+  }
+  {
+    // A writer with different struct padding / word sizes: layout tag
+    // disagrees with this build's fingerprint.
+    std::vector<uint8_t> bad = good;
+    bad[20] ^= 0xff;
+    WriteBytes(path, bad);
+    auto opened = OpenStoreSnapshot(path);
+    ASSERT_FALSE(opened.ok());
+    EXPECT_NE(opened.status().ToString().find("layout"), std::string::npos)
+        << opened.status().ToString();
+    EXPECT_FALSE(VerifySnapshotChecksums(path).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreSnapshot, AugmentedIndexServesIdenticallyFromMmap) {
+  const RankingStore store = testutil::MakeClusteredStore(10, 600, 41);
+  const std::string path = TempPath("augmented.snap");
+  WriteSnapshotOf(store, path);
+  auto opened = OpenStoreSnapshot(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const StoreSnapshot& snapshot = opened.value();
+  // The augmented arena is adopted zero-copy like everything else.
+  EXPECT_EQ(snapshot.augmented_index().MemoryUsage(), size_t{0});
+  EXPECT_GT(snapshot.augmented_index().num_entries(), size_t{0});
+
+  const PlainInvertedIndex plain = PlainInvertedIndex::Build(store);
+  const RawDistance dmax = MaxDistance(store.k());
+  for (const DropMode drop : {DropMode::kNone, DropMode::kConservative,
+                              DropMode::kPositionRefined}) {
+    FilterValidateEngine reference(&store, &plain, {drop});
+    storage::CompressedAugmentedEngine tier(
+        &snapshot.store(), &snapshot.augmented_index(), {drop, true});
+    for (const auto& query : testutil::MakeQueries(store, 8, 43)) {
+      for (const RawDistance theta : {dmax / 8, dmax / 2, dmax}) {
+        ASSERT_EQ(tier.Query(query, theta), reference.Query(query, theta))
+            << "drop=" << static_cast<int>(drop) << " theta=" << theta;
+      }
+    }
   }
   std::remove(path.c_str());
 }
