@@ -1,0 +1,50 @@
+// bench_robustness: what the fault-tolerance machinery costs when
+// nothing is failing.
+//
+// Prints the `robustness` section (deadline/cancellation plumbing
+// overhead on the healthy path, snapshot-tier vs degraded-RAM serving
+// latency, and the crash-safe snapshot lifecycle write/recovery cost)
+// as its own JSON document (default BENCH_robustness.json, override
+// with --out=). The committed artifact is the trajectory CI diffs
+// against via scripts/compare_benchmarks.py.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "json_writer.h"
+#include "robustness_bench.h"
+
+namespace topk {
+namespace {
+
+int Run(int argc, char** argv) {
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  std::string out_path = "BENCH_robustness.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  bench::PrintHeader("Robustness overhead benchmark (JSON)", args);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Uint(1);
+  bench::EmitRobustnessSection(&json, args);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) { return topk::Run(argc, argv); }

@@ -121,8 +121,21 @@ inline void EmitMutabilitySection(JsonWriter* json, const BenchArgs& args) {
               << " done\n";
   }
 
+  // Rows beyond the main prefix that can feed the delta. At CI scale
+  // and above this is kMaxDelta; at smoke scale (tiny --nyt-n) it is
+  // smaller, and a delta larger than it must be skipped — indexing
+  // source.view(main_n + i) past the store is out of bounds (it used to
+  // hang the bench chewing on garbage views).
+  const size_t avail = workload.source.size() - workload.main_n;
+
   // --- query_vs_delta: latency and exactness as the delta grows. ---
   for (const size_t delta : {size_t{0}, size_t{512}, kMaxDelta}) {
+    if (delta > avail) {
+      std::cerr << "  mutability query_vs_delta delta=" << delta
+                << " skipped (source has " << avail
+                << " spare rows; raise --nyt-n)\n";
+      continue;
+    }
     MutableStore store(main);
     RankingStore rebuilt = main;  // the oracle: same rows, one segment
     for (size_t i = 0; i < delta; ++i) {
@@ -210,12 +223,16 @@ inline void EmitMutabilitySection(JsonWriter* json, const BenchArgs& args) {
   // --- merge: rebuild wall time + worst query latency during it. ---
   {
     MutableStore store(main);
-    for (size_t i = 0; i < kMaxDelta; ++i) {
+    const size_t merge_delta = std::min(kMaxDelta, avail);
+    for (size_t i = 0; i < merge_delta; ++i) {
       store.Insert(workload.source.view(
           static_cast<RankingId>(workload.main_n + i)));
     }
-    // Tombstone 512 main rows so the merge also compacts deletes.
-    for (RankingId id = 0; id < 512; ++id) store.Delete(id * 2);
+    // Tombstone main rows (512 at CI scale) so the merge also compacts
+    // deletes; every id * 2 must land inside the main prefix.
+    const auto tombstones =
+        static_cast<RankingId>(std::min<size_t>(512, workload.main_n / 2));
+    for (RankingId id = 0; id < tombstones; ++id) store.Delete(id * 2);
 
     double max_query_ms = 0;
     const auto merge_start = Clock::now();
@@ -242,7 +259,7 @@ inline void EmitMutabilitySection(JsonWriter* json, const BenchArgs& args) {
     json->Key("n");
     json->Uint(workload.main_n);
     json->Key("delta");
-    json->Uint(kMaxDelta);
+    json->Uint(merge_delta);
     json->Key("merge_wall_ms");
     json->Double(merge_ms);
     // Worst single-query latency observed while the rebuild ran — the

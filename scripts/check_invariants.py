@@ -51,6 +51,15 @@ Checks (each is a named rule; any violation exits non-zero):
                   `generation: delegated` marker comment naming who bumps
                   instead. A mutation that skips the bump leaves serve-layer
                   caches answering from a world that no longer exists.
+  syscall-status  In src/storage/ and src/io/, a fallible syscall whose
+                  result is discarded (the call IS the statement: `fsync(fd);`
+                  rather than `if (fsync(fd) != 0) ...`) silently converts an
+                  I/O failure into corruption discovered much later — the
+                  exact bug class the crash-safe snapshot protocol exists to
+                  prevent. Every such call must check its result and carry
+                  the errno into a Status (Status::IOErrorFromErrno), or mark
+                  a deliberate best-effort discard with
+                  `// syscall-ok: <why>`.
 
 Run from anywhere: paths resolve relative to the repo root (parent of this
 script's directory). `--self-test` feeds each rule a synthetic violation
@@ -107,6 +116,7 @@ BENCH_REQUIRED_SECTIONS = {
     "BENCH_serving.json": ["schema_version", "hardware_concurrency", "rows"],
     "BENCH_mutability.json": ["schema_version", "mutability"],
     "BENCH_storage.json": ["schema_version", "storage"],
+    "BENCH_robustness.json": ["schema_version", "robustness"],
 }
 
 # generation-bump -----------------------------------------------------------
@@ -142,6 +152,26 @@ SKIP_READER_DEF_RE = re.compile(
     r"^[^\s/].*\b\w*(?:SelectedBlocks|InRange|InRankWindow)\s*\(")
 BLOCK_BYTES_RE = re.compile(r"\bBlockBytes\s*\(")
 SKIP_CONTINUE_RE = re.compile(r"\bcontinue\s*;")
+
+# syscall-status ------------------------------------------------------------
+
+# Directories where unchecked fallible syscalls are banned (persistence
+# code: a swallowed I/O error here IS data loss).
+SYSCALL_DIR_PREFIXES = ("src/storage/", "src/io/")
+# The fallible calls the persistence layer actually uses. Infallible or
+# can't-meaningfully-fail calls (getpid, strerror) are deliberately absent.
+SYSCALL_NAMES = (
+    "open", "close", "fopen", "fclose", "fflush", "fwrite", "fread",
+    "fputs", "fseek", "ftell", "fsync", "fdatasync", "rename", "remove",
+    "unlink", "ftruncate", "mmap", "munmap", "msync", "madvise", "fstat",
+)
+# Statement-position call: the (optionally ::/std::-qualified, optionally
+# (void)-cast) syscall is the first token of the statement, so its return
+# value cannot be feeding any check.
+SYSCALL_STMT_RE = re.compile(
+    r"^\s*(?:\(void\)\s*)?(?:::|std::)?(" + "|".join(SYSCALL_NAMES) +
+    r")\s*\(")
+SYSCALL_OK_MARKER = "syscall-ok:"
 
 # kernel-layering -----------------------------------------------------------
 
@@ -237,6 +267,8 @@ def check_naked_alloc(path: Path, lines: list[str]) -> list[Failure]:
     failures = []
     for i, raw in enumerate(lines):
         line = strip_comments_and_strings(raw)
+        if line.lstrip().startswith("#"):
+            continue  # preprocessor: `#include <new>` is not an allocation
         match = ALLOC_RE.search(line)
         if match:
             failures.append(Failure(
@@ -383,6 +415,36 @@ def check_block_skip_guard(path: Path, lines: list[str]) -> list[Failure]:
     return failures
 
 
+def check_syscall_status(path: Path, lines: list[str]) -> list[Failure]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    if not rel.startswith(SYSCALL_DIR_PREFIXES):
+        return []
+
+    def starts_statement(index: int) -> bool:
+        """True when line `index` begins a statement (not a wrapped
+        continuation of a checked expression clang-format broke onto its
+        own line, e.g. the second `fwrite(...) != 1 ||` of a chain)."""
+        for j in range(index - 1, -1, -1):
+            prev = strip_comments_and_strings(lines[j]).strip()
+            if not prev:
+                continue
+            return prev.endswith((";", "{", "}", ":")) or prev.startswith("#")
+        return True
+
+    failures = []
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        match = SYSCALL_STMT_RE.match(line)
+        if match and SYSCALL_OK_MARKER not in raw and starts_statement(i):
+            failures.append(Failure(
+                "syscall-status", f"{rel}:{i + 1}",
+                f"{match.group(1)}() result discarded — check it and carry "
+                "errno into a Status (Status::IOErrorFromErrno), or mark a "
+                "deliberate best-effort discard with "
+                f"'// {SYSCALL_OK_MARKER} <why>'"))
+    return failures
+
+
 def check_kernel_layering(path: Path, lines: list[str]) -> list[Failure]:
     rel = path.relative_to(REPO_ROOT).as_posix()
     if not rel.startswith("src/kernel/") or path.suffix != ".h":
@@ -416,6 +478,7 @@ def run_checks() -> list[Failure]:
         failures += check_kernel_layering(path, lines)
         failures += check_decode_noalloc(path, lines)
         failures += check_block_skip_guard(path, lines)
+        failures += check_syscall_status(path, lines)
     failures += check_bench_schema()
     return failures
 
@@ -471,6 +534,15 @@ def self_test() -> int:
              "std::span<const int> Arena::DecodeBlocksInRankWindow(size_t i) {",
              "  const auto [begin, end] = BlockBytes(0);",
              "  return {};", "}"])),
+        ("syscall-status discarded fsync",
+         lambda: check_syscall_status(fake_storage, ["  ::fsync(fd);"])),
+        ("syscall-status discarded std::fclose",
+         lambda: check_syscall_status(fake_storage, ["  std::fclose(f);"])),
+        ("syscall-status (void)-cast discard still flagged",
+         lambda: check_syscall_status(fake_storage, ["  (void)unlink(tmp);"])),
+        ("syscall-status covers src/io too",
+         lambda: check_syscall_status(SRC / "io" / "fake.cc",
+                                      ["  rename(a, b);"])),
     ]
     negatives = [
         ("epoch-zero legal wrap", lambda: check_epoch_zero(fake, [
@@ -535,6 +607,20 @@ def self_test() -> int:
         ("block-skip-guard declaration only",
          lambda: check_block_skip_guard(fake_storage, [
              "std::span<const int> DecodeBlocksInRange(size_t i) const;"])),
+        ("syscall-status checked call",
+         lambda: check_syscall_status(fake_storage, [
+             "  if (::fsync(fd) != 0) return Err();"])),
+        ("syscall-status result captured",
+         lambda: check_syscall_status(fake_storage, [
+             "  const bool failed = std::fclose(f) != 0;"])),
+        ("syscall-status marked best-effort discard",
+         lambda: check_syscall_status(fake_storage, [
+             "  ::close(fd);  // syscall-ok: errno already captured above"])),
+        ("syscall-status outside persistence dirs",
+         lambda: check_syscall_status(fake, ["  ::fsync(fd);"])),
+        ("syscall-status identifier containing a syscall name",
+         lambda: check_syscall_status(fake_storage, [
+             "  remove_stale_generations(dir);"])),
     ]
     ok = True
     for name, check in cases:

@@ -4,7 +4,9 @@
 # then the bench_parallel scaling study (BENCH_parallel.json next to it),
 # the bench_serving cache study (BENCH_serving.json), the
 # bench_mutability write-path study (BENCH_mutability.json), and the
-# bench_storage compressed-tier study (BENCH_storage.json). Each fresh
+# bench_storage compressed-tier study (BENCH_storage.json), and the
+# bench_robustness fault-tolerance overhead study
+# (BENCH_robustness.json). Each fresh
 # artifact is diffed against the committed copy (HEAD) via
 # scripts/compare_benchmarks.py, so a run prints its own perf trajectory.
 #
@@ -18,6 +20,7 @@
 #   SERVING_OUT= scripts/run_benchmarks.sh    # skip the serving study
 #   MUTABILITY_OUT= scripts/run_benchmarks.sh # skip the mutability study
 #   STORAGE_OUT= scripts/run_benchmarks.sh    # skip the storage study
+#   ROBUSTNESS_OUT= scripts/run_benchmarks.sh # skip the robustness study
 #   MARCH=x86-64-v3 scripts/run_benchmarks.sh # compile the bench build for
 #                                             # that -march so the TOPK_SIMD
 #                                             # kernel paths dispatch to a
@@ -42,6 +45,7 @@ PARALLEL_OUT=${PARALLEL_OUT-BENCH_parallel.json}
 SERVING_OUT=${SERVING_OUT-BENCH_serving.json}
 MUTABILITY_OUT=${MUTABILITY_OUT-BENCH_mutability.json}
 STORAGE_OUT=${STORAGE_OUT-BENCH_storage.json}
+ROBUSTNESS_OUT=${ROBUSTNESS_OUT-BENCH_robustness.json}
 
 # Prints per-section deltas of a fresh artifact against the copy
 # committed at HEAD (informational; skipped when python3/git/the
@@ -80,7 +84,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DTOPK_SANITIZE= \
   ${MARCH:+"-DCMAKE_CXX_FLAGS=-march=$MARCH"}
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_baseline bench_parallel bench_serving bench_mutability \
-  bench_storage
+  bench_storage bench_robustness
 
 # ${arr[@]+...} keeps the empty-array expansion safe under set -u on
 # bash < 4.4 (macOS ships 3.2).
@@ -115,4 +119,11 @@ if [[ -n "$STORAGE_OUT" ]]; then
     ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$STORAGE_OUT"
   echo "storage study written to $STORAGE_OUT"
   compare_against_committed BENCH_storage.json "$STORAGE_OUT"
+fi
+
+if [[ -n "$ROBUSTNESS_OUT" ]]; then
+  "$BUILD_DIR/bench/bench_robustness" \
+    ${DEFAULT_ARGS[@]+"${DEFAULT_ARGS[@]}"} "$@" --out="$ROBUSTNESS_OUT"
+  echo "robustness study written to $ROBUSTNESS_OUT"
+  compare_against_committed BENCH_robustness.json "$ROBUSTNESS_OUT"
 fi

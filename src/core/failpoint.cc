@@ -1,0 +1,186 @@
+#include "core/failpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace topk {
+namespace {
+
+// splitmix64: tiny, high-quality mixing for the deterministic
+// probability thinning (seed ^ site-hash ^ hit-index -> [0, 1)).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double UnitInterval(uint64_t seed, const std::string& site, uint64_t hit) {
+  const uint64_t mixed = SplitMix64(seed ^ Fnv1a(site) ^ hit);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* env = std::getenv("TOPK_FAILPOINTS_SPEC")) {
+    // Arming errors at process setup are programming mistakes in the
+    // harness, not runtime conditions; fail loudly.
+    const Status status = ArmFromSpecString(env);
+    TOPK_DCHECK(status.ok() && "bad TOPK_FAILPOINTS_SPEC");
+    (void)status;
+  }
+}
+
+void FailpointRegistry::Arm(const std::string& site, FailpointSpec spec) {
+  MutexLock lock(&mutex_);
+  Armed armed;
+  armed.spec = spec;
+  armed_[site] = armed;
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  MutexLock lock(&mutex_);
+  armed_.erase(site);
+}
+
+void FailpointRegistry::DisarmAll() {
+  MutexLock lock(&mutex_);
+  armed_.clear();
+}
+
+void FailpointRegistry::ResetCounts() {
+  MutexLock lock(&mutex_);
+  hits_.clear();
+  hit_order_.clear();
+  for (auto& [site, armed] : armed_) {
+    armed.eligible_hits = 0;
+    armed.fired = 0;
+  }
+}
+
+bool FailpointRegistry::ShouldFire(Armed* armed) {
+  const FailpointSpec& spec = armed->spec;
+  const uint64_t hit = ++armed->eligible_hits;
+  if (spec.max_fires != 0 && armed->fired >= spec.max_fires) return false;
+  if (hit < spec.start_hit) return false;
+  const uint64_t every = spec.every == 0 ? 1 : spec.every;
+  if ((hit - spec.start_hit) % every != 0) return false;
+  if (spec.probability < 1.0) {
+    // Site name is folded in at Arm-site granularity via the map key; use
+    // the spec seed + hit for the deterministic draw.
+    if (UnitInterval(spec.seed, "", hit) >= spec.probability) return false;
+  }
+  ++armed->fired;
+  return true;
+}
+
+bool FailpointRegistry::Evaluate(const char* site) {
+  FailpointAction action = FailpointAction::kError;
+  bool fire = false;
+  {
+    MutexLock lock(&mutex_);
+    const std::string key(site);
+    uint64_t& count = hits_[key];
+    if (count == 0) hit_order_.push_back(key);
+    ++count;
+    auto it = armed_.find(key);
+    if (it != armed_.end() && ShouldFire(&it->second)) {
+      fire = true;
+      action = it->second.spec.action;
+    }
+  }
+  if (fire && action == FailpointAction::kCrash) {
+    // Simulate an abrupt process death (power loss / OOM-kill): no
+    // destructors, no buffered-stdio flush, no atexit handlers.
+    ::kill(::getpid(), SIGKILL);  // syscall-ok: process dies here
+    ::abort();                    // unreachable; pacify noreturn analysis
+  }
+  return fire;
+}
+
+uint64_t FailpointRegistry::hits(const std::string& site) const {
+  MutexLock lock(&mutex_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& site) const {
+  MutexLock lock(&mutex_);
+  auto it = armed_.find(site);
+  return it == armed_.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> FailpointRegistry::SitesHit() const {
+  MutexLock lock(&mutex_);
+  return hit_order_;
+}
+
+Status FailpointRegistry::ArmFromSpecString(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec missing '=': " + entry);
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    FailpointSpec parsed;
+    const size_t at = rest.find('@');
+    const std::string action = rest.substr(0, at);
+    if (action == "error") {
+      parsed.action = FailpointAction::kError;
+    } else if (action == "crash") {
+      parsed.action = FailpointAction::kCrash;
+    } else {
+      return Status::InvalidArgument("failpoint action must be error|crash: " +
+                                     entry);
+    }
+    if (at != std::string::npos) {
+      std::string sched = rest.substr(at + 1);
+      // START[/EVERY][xMAX] — parse right to left.
+      const size_t x = sched.find('x');
+      if (x != std::string::npos) {
+        parsed.max_fires = std::strtoull(sched.c_str() + x + 1, nullptr, 10);
+        sched.resize(x);
+      }
+      const size_t slash = sched.find('/');
+      if (slash != std::string::npos) {
+        parsed.every = std::strtoull(sched.c_str() + slash + 1, nullptr, 10);
+        sched.resize(slash);
+      }
+      parsed.start_hit = std::strtoull(sched.c_str(), nullptr, 10);
+      if (parsed.start_hit == 0 || parsed.every == 0) {
+        return Status::InvalidArgument("failpoint schedule needs START>=1 " +
+                                       std::string("and EVERY>=1: ") + entry);
+      }
+    }
+    Arm(site, parsed);
+  }
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,120 @@
+// Deterministic fault-injection sites, in the spirit of TiKV/RocksDB
+// failpoints.
+//
+// A fallible boundary marks itself with `if (TOPK_FAILPOINT("site.name"))`
+// and handles the `true` branch as if the underlying operation had failed
+// (error mode) — crash mode never returns: the registry SIGKILLs the
+// process at the site, which is how tests/storage_crash_test.cc proves the
+// snapshot protocol is torn-write safe. In normal builds the macro expands
+// to `false` and every site folds away to nothing; configuring with
+// -DTOPK_FAILPOINTS=ON compiles the registry probe in (the `failpoints`
+// and TSan CI legs build this way).
+//
+// Schedules are deterministic: a site armed with {start_hit, every,
+// max_fires} fires on hit numbers start_hit, start_hit+every, ... for at
+// most max_fires firings, optionally thinned by a seeded pseudo-random
+// probability (splitmix64 over (seed, site, hit) — same seed, same
+// firings, every run). Hit counts are recorded for every evaluated site
+// whether or not it is armed, so a test can trace one clean run to learn
+// which sites a code path crosses, then re-run once per site in crash
+// mode.
+
+#ifndef TOPK_CORE_FAILPOINT_H_
+#define TOPK_CORE_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/thread_annotations.h"
+
+namespace topk {
+
+/// What an armed site does when its schedule fires.
+enum class FailpointAction {
+  kError,  // Evaluate() returns true; the site simulates an I/O error
+  kCrash,  // Evaluate() SIGKILLs the process (never returns)
+};
+
+/// Deterministic firing schedule for one site. Hits are 1-based.
+struct FailpointSpec {
+  FailpointAction action = FailpointAction::kError;
+  uint64_t start_hit = 1;   // first hit eligible to fire
+  uint64_t every = 1;       // then every `every`-th hit after it
+  uint64_t max_fires = 0;   // 0 = unlimited; 1 = one-shot
+  double probability = 1.0; // deterministic thinning in [0, 1]
+  uint64_t seed = 0;        // drives the thinning hash
+};
+
+/// Process-wide registry of armed failpoints. All methods are
+/// thread-safe; Evaluate is called from hot-ish paths but only in
+/// TOPK_FAILPOINTS builds (release builds never reach it).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  void Arm(const std::string& site, FailpointSpec spec) TOPK_EXCLUDES(mutex_);
+  void Disarm(const std::string& site) TOPK_EXCLUDES(mutex_);
+  void DisarmAll() TOPK_EXCLUDES(mutex_);
+  /// Clears hit/fire counters (armed specs stay armed, their per-spec
+  /// eligible-hit counters restart).
+  void ResetCounts() TOPK_EXCLUDES(mutex_);
+
+  /// Records a hit on `site`; returns true iff an armed error-mode
+  /// schedule fires. Crash-mode firings SIGKILL instead of returning.
+  bool Evaluate(const char* site) TOPK_EXCLUDES(mutex_);
+
+  /// Total Evaluate() calls seen for `site` since the last ResetCounts.
+  uint64_t hits(const std::string& site) const TOPK_EXCLUDES(mutex_);
+  /// Times an armed schedule on `site` actually fired.
+  uint64_t fires(const std::string& site) const TOPK_EXCLUDES(mutex_);
+  /// Every site evaluated at least once since the last ResetCounts, in
+  /// first-hit order (the crash test's trace of a clean run).
+  std::vector<std::string> SitesHit() const TOPK_EXCLUDES(mutex_);
+
+  /// Parses and arms a ';'-separated spec list, e.g.
+  ///   "storage.snapshot.fsync=crash@2;io.write=error@1/3x5"
+  /// Grammar per entry: site=ACTION@START[/EVERY][xMAX], ACTION in
+  /// {error, crash}. Also applied once from $TOPK_FAILPOINTS_SPEC on
+  /// first Instance() use, so a child process can arm itself pre-main.
+  Status ArmFromSpecString(const std::string& spec) TOPK_EXCLUDES(mutex_);
+
+ private:
+  struct Armed {
+    FailpointSpec spec;
+    uint64_t eligible_hits = 0;  // hits seen while this spec was armed
+    uint64_t fired = 0;
+  };
+
+  FailpointRegistry();
+
+  bool ShouldFire(Armed* armed) TOPK_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Armed> armed_ TOPK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, uint64_t> hits_ TOPK_GUARDED_BY(mutex_);
+  std::vector<std::string> hit_order_ TOPK_GUARDED_BY(mutex_);
+};
+
+/// True when this build compiles failpoint probes in.
+constexpr bool FailpointsCompiledIn() {
+#if defined(TOPK_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace topk
+
+#if defined(TOPK_FAILPOINTS)
+#define TOPK_FAILPOINT(site) \
+  (::topk::FailpointRegistry::Instance().Evaluate(site))
+#else
+#define TOPK_FAILPOINT(site) (false)
+#endif
+
+#endif  // TOPK_CORE_FAILPOINT_H_

@@ -40,6 +40,16 @@ const char* TickerName(Ticker ticker) {
       return "candidate_cache_misses";
     case Ticker::kCandidateCacheEvictions:
       return "candidate_cache_evictions";
+    case Ticker::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Ticker::kLoadShed:
+      return "load_shed";
+    case Ticker::kDegradedReads:
+      return "degraded_reads";
+    case Ticker::kMergeRetries:
+      return "merge_retries";
+    case Ticker::kSnapshotsQuarantined:
+      return "snapshots_quarantined";
     case Ticker::kNumTickers:
       break;
   }

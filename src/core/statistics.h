@@ -51,6 +51,16 @@ enum class Ticker : int {
   kCandidateCacheHits,
   kCandidateCacheMisses,
   kCandidateCacheEvictions,
+  /// Robustness layer (see DESIGN.md "Failure model"): queries abandoned
+  /// at their deadline, queries shed by admission control, reads served
+  /// from the RAM fallback after an mmap-tier failure, merge attempts
+  /// retried after an injected/real rebuild failure, and snapshot files
+  /// quarantined as corrupt at startup scan.
+  kDeadlineExceeded,
+  kLoadShed,
+  kDegradedReads,
+  kMergeRetries,
+  kSnapshotsQuarantined,
   kNumTickers
 };
 

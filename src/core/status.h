@@ -8,6 +8,8 @@
 #define TOPK_CORE_STATUS_H_
 
 #include <cassert>
+#include <cerrno>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <utility>
@@ -19,7 +21,16 @@ namespace topk {
 /// Outcome of a fallible operation. Cheap to copy when OK (empty message).
 class Status {
  public:
-  enum class Code { kOk, kInvalidArgument, kNotFound, kFailedPrecondition };
+  enum class Code {
+    kOk,
+    kInvalidArgument,
+    kNotFound,
+    kFailedPrecondition,
+    kIOError,
+    kDeadlineExceeded,
+    kUnavailable,
+    kAborted,
+  };
 
   Status() : code_(Code::kOk) {}
 
@@ -32,6 +43,25 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  /// IOError annotated with the current errno: "<op>: <strerror> (errno N)".
+  /// Capture errno into `err` BEFORE any call that may clobber it (cleanup
+  /// closes/unlinks between the failing syscall and this constructor).
+  static Status IOErrorFromErrno(std::string op, int err) {
+    return Status(Code::kIOError, std::move(op) + ": " + std::strerror(err) +
+                                      " (errno " + std::to_string(err) + ")");
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -56,6 +86,14 @@ class Status {
         return "NotFound";
       case Code::kFailedPrecondition:
         return "FailedPrecondition";
+      case Code::kIOError:
+        return "IOError";
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded";
+      case Code::kUnavailable:
+        return "Unavailable";
+      case Code::kAborted:
+        return "Aborted";
     }
     return "Unknown";
   }

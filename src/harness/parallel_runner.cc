@@ -4,6 +4,21 @@
 
 namespace topk {
 
+namespace {
+
+/// Maps a stopped control to its caller-facing status, ticking the
+/// deadline counter (cancellation shares it: both are "the query did not
+/// run to completion by request").
+Status StopStatus(const QueryControl& control, Statistics* stats) {
+  AddTicker(stats, Ticker::kDeadlineExceeded);
+  if (control.cancelled()) {
+    return Status::Aborted("sharded range query cancelled");
+  }
+  return Status::DeadlineExceeded("sharded range query deadline exceeded");
+}
+
+}  // namespace
+
 ParallelRunner::ParallelRunner(const ShardedStore* store,
                                ParallelRunnerOptions options)
     : store_(store),
@@ -65,8 +80,17 @@ void ParallelRunner::FanOut(Algorithm algorithm, size_t query_index,
                             const PreparedQuery& query, RawDistance theta_raw,
                             std::vector<std::vector<RankingId>>* results,
                             std::vector<Statistics>* stats,
-                            std::vector<PhaseTimes>* phases) {
+                            std::vector<PhaseTimes>* phases,
+                            QueryControl* control) {
   pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    // Task-granular cooperative check: a shard task that starts after
+    // the deadline fell (or the token tripped) skips its engine run
+    // entirely. The coordinator discards the whole fan-out on stop, so
+    // an empty slot is never merged into an answer.
+    if (control != nullptr && control->ShouldStop()) {
+      (*results)[s].clear();
+      return;
+    }
     (*results)[s] = engine(s, algorithm)
                         ->Query(query_index, query, theta_raw, &(*stats)[s],
                                 &(*phases)[s]);
@@ -96,6 +120,42 @@ std::vector<RankingId> ParallelRunner::RangeQuery(
     }
   }
   return MergeShardRangeResults(scratch_results_);
+}
+
+Status ParallelRunner::RangeQuery(Algorithm algorithm, size_t query_index,
+                                  const PreparedQuery& query,
+                                  RawDistance theta_raw, QueryControl* control,
+                                  std::vector<RankingId>* out,
+                                  Statistics* stats, PhaseTimes* phases) {
+  out->clear();
+  MutexLock lock(&mutex_);
+  if (algorithm != Algorithm::kMinimalFV) PrepareLocked(algorithm);
+  if (control != nullptr && control->ShouldStop()) {
+    return StopStatus(*control, stats);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    scratch_stats_[s].Reset();
+    scratch_phases_[s] = PhaseTimes{};
+  }
+  FanOut(algorithm, query_index, query, theta_raw, &scratch_results_,
+         &scratch_stats_, &scratch_phases_, control);
+  // Shard tickers still merge on a stop (the work they account really
+  // happened); only the answer itself is withheld.
+  if (stats != nullptr) {
+    for (const Statistics& shard_stats : scratch_stats_) {
+      stats->MergeFrom(shard_stats);
+    }
+  }
+  if (phases != nullptr) {
+    for (const PhaseTimes& shard_phases : scratch_phases_) {
+      phases->MergeFrom(shard_phases);
+    }
+  }
+  if (control != nullptr && control->ShouldStop()) {
+    return StopStatus(*control, stats);
+  }
+  *out = MergeShardRangeResults(scratch_results_);
+  return Status::OK();
 }
 
 std::vector<Neighbor> ParallelRunner::KnnQuery(Algorithm algorithm,

@@ -38,6 +38,7 @@
 #include <span>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/mutex.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
@@ -100,6 +101,19 @@ class ParallelRunner {
     return RangeQuery(algorithm, 0, query, theta_raw, stats, nullptr);
   }
 
+  /// Deadline/cancel-aware sharded range query. The control is checked
+  /// before the fan-out and at shard-task granularity inside it (shards
+  /// that have not started yet are skipped once the query stops). On a
+  /// stop the partial per-shard results are discarded, `*out` is left
+  /// empty, kDeadlineExceeded is ticked, and the status is
+  /// DeadlineExceeded (deadline) or Aborted (cancel) — never a hang, and
+  /// never a partial answer presented as exact.
+  Status RangeQuery(Algorithm algorithm, size_t query_index,
+                    const PreparedQuery& query, RawDistance theta_raw,
+                    QueryControl* control, std::vector<RankingId>* out,
+                    Statistics* stats = nullptr, PhaseTimes* phases = nullptr)
+      TOPK_EXCLUDES(mutex_);
+
   /// Exact sharded k-NN (kLinearScan, kBkTree or kMTree backends): the
   /// min(j, size()) nearest rankings by (distance, global id), identical
   /// to the unsharded searcher.
@@ -129,12 +143,15 @@ class ParallelRunner {
                            RawDistance theta_raw) TOPK_REQUIRES(mutex_);
 
   /// Runs one query on every shard (range form), leaving shard s's global
-  /// ids in (*results)[s] and its tickers/phases in the s-th slots.
+  /// ids in (*results)[s] and its tickers/phases in the s-th slots. A
+  /// non-null `control` is consulted once per shard task: a shard whose
+  /// task starts after the stop leaves its slot empty (the caller must
+  /// then discard the whole fan-out, not merge it).
   void FanOut(Algorithm algorithm, size_t query_index,
               const PreparedQuery& query, RawDistance theta_raw,
               std::vector<std::vector<RankingId>>* results,
-              std::vector<Statistics>* stats,
-              std::vector<PhaseTimes>* phases) TOPK_REQUIRES(mutex_);
+              std::vector<Statistics>* stats, std::vector<PhaseTimes>* phases,
+              QueryControl* control = nullptr) TOPK_REQUIRES(mutex_);
 
   /// Engine lookup for one shard. Called from inside pool tasks (which
   /// hold no capability), so it must stay annotation-free: the per-shard

@@ -23,11 +23,13 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "core/mutex.h"
 #include "core/thread_annotations.h"
 
@@ -64,9 +66,20 @@ class ThreadPool {
   template <typename F>
   auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
+    // The failpoint probe lives INSIDE the packaged task so an injected
+    // worker failure surfaces through the future exactly like an
+    // exception from f itself — never into WorkerLoop (where a throw
+    // would std::terminate) and never swallowed where a caller joining
+    // the future would hang on a forever-unready result.
+    auto probed = [f = std::move(f)]() mutable -> R {
+      if (TOPK_FAILPOINT("harness.thread_pool.task")) {
+        throw std::runtime_error("injected failure: harness.thread_pool.task");
+      }
+      return f();
+    };
     // packaged_task is move-only but std::function wants copyable targets;
     // the shared_ptr wrapper is the standard bridge.
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(probed));
     std::future<R> result = task->get_future();
     if (workers_.empty()) {
       (*task)();
@@ -110,7 +123,20 @@ class ThreadPool {
     pending.reserve(helpers);
     for (size_t i = 0; i < helpers; ++i) pending.push_back(Submit(drain));
     drain();
-    for (std::future<void>& f : pending) f.get();
+    // Join EVERY helper before surfacing any error: rethrowing out of the
+    // first get() while later helpers were still draining would race them
+    // against a caller that has already unwound `fn` off its stack.
+    // Helper futures only carry an exception when the task layer itself
+    // failed (e.g. an injected harness.thread_pool.task fault) — drain()
+    // captures fn's own exceptions into the shared slot.
+    std::exception_ptr task_error;
+    for (std::future<void>& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!task_error) task_error = std::current_exception();
+      }
+    }
     // The future handshake above is the happens-before edge, but the
     // error slot is a guarded member, so read it under its own lock
     // (uncontended by now) instead of punching an analysis hole.
@@ -119,6 +145,7 @@ class ThreadPool {
       MutexLock lock(&state->error_mutex);
       error = state->error;
     }
+    if (!error) error = task_error;
     if (error) std::rethrow_exception(error);
   }
 

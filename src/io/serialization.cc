@@ -1,10 +1,13 @@
 #include "io/serialization.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
+
+#include "core/failpoint.h"
 
 namespace topk {
 
@@ -40,21 +43,42 @@ class Writer {
   }
 
   Status WriteFile(const std::string& path, uint32_t kind) const {
-    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-        std::fopen(path.c_str(), "wb"), &std::fclose);
-    if (file == nullptr) {
-      return Status::InvalidArgument("cannot open for writing: " + path);
+    // Every fallible call below carries its errno into the Status: "disk
+    // full", "read-only filesystem" and "permission denied" are three
+    // different operator actions, and the old "short write" collapsed
+    // them into one unactionable string.
+    std::FILE* raw = TOPK_FAILPOINT("io.serialization.open")
+                         ? (errno = EIO, nullptr)
+                         : std::fopen(path.c_str(), "wb");
+    if (raw == nullptr) {
+      return Status::IOErrorFromErrno("open for writing " + path, errno);
     }
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(raw, &std::fclose);
     const uint32_t header[3] = {kMagic, kVersion, kind};
     const uint64_t payload_size = buffer_.size();
     const uint64_t checksum = Fnv1a(buffer_.data(), buffer_.size());
-    if (std::fwrite(header, sizeof(header), 1, file.get()) != 1 ||
-        std::fwrite(&payload_size, sizeof(payload_size), 1, file.get()) !=
-            1 ||
-        std::fwrite(&checksum, sizeof(checksum), 1, file.get()) != 1 ||
-        (payload_size > 0 &&
-         std::fwrite(buffer_.data(), buffer_.size(), 1, file.get()) != 1)) {
-      return Status::InvalidArgument("short write: " + path);
+    const bool write_failed =
+        TOPK_FAILPOINT("io.serialization.write")
+            ? (errno = EIO, true)
+            : std::fwrite(header, sizeof(header), 1, file.get()) != 1 ||
+                  std::fwrite(&payload_size, sizeof(payload_size), 1,
+                              file.get()) != 1 ||
+                  std::fwrite(&checksum, sizeof(checksum), 1, file.get()) !=
+                      1 ||
+                  (payload_size > 0 &&
+                   std::fwrite(buffer_.data(), buffer_.size(), 1,
+                               file.get()) != 1);
+    if (write_failed) {
+      return Status::IOErrorFromErrno("write " + path, errno);
+    }
+    // The close flushes stdio's buffer; a failure here (ENOSPC surfacing
+    // late) would otherwise vanish with the unique_ptr deleter.
+    file.release();
+    const bool close_failed = TOPK_FAILPOINT("io.serialization.close")
+                                  ? (errno = EIO, true)
+                                  : std::fclose(raw) != 0;
+    if (close_failed) {
+      return Status::IOErrorFromErrno("close " + path, errno);
     }
     return Status::OK();
   }
@@ -67,11 +91,17 @@ class Writer {
 class Reader {
  public:
   static Result<Reader> Open(const std::string& path, uint32_t kind) {
-    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-        std::fopen(path.c_str(), "rb"), &std::fclose);
-    if (file == nullptr) {
-      return Status::NotFound("cannot open: " + path);
+    std::FILE* raw = TOPK_FAILPOINT("io.serialization.read")
+                         ? (errno = EIO, nullptr)
+                         : std::fopen(path.c_str(), "rb");
+    if (raw == nullptr) {
+      // NotFound only when the file truly is not there; an EACCES or
+      // EIO misreported as NotFound sends callers down their
+      // build-it-fresh path against data that still exists.
+      if (errno == ENOENT) return Status::NotFound("cannot open: " + path);
+      return Status::IOErrorFromErrno("open " + path, errno);
     }
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(raw, &std::fclose);
     uint32_t header[3];
     uint64_t payload_size = 0;
     uint64_t checksum = 0;
@@ -79,6 +109,11 @@ class Reader {
         std::fread(&payload_size, sizeof(payload_size), 1, file.get()) !=
             1 ||
         std::fread(&checksum, sizeof(checksum), 1, file.get()) != 1) {
+      // A device error is environmental (retryable elsewhere); a short
+      // file is evidence of truncation. Callers branch on the code.
+      if (std::ferror(file.get())) {
+        return Status::IOErrorFromErrno("read header of " + path, errno);
+      }
       return Status::InvalidArgument("truncated header: " + path);
     }
     if (header[0] != kMagic) {
@@ -98,7 +133,7 @@ class Reader {
     // missing ones.
     const long payload_start = std::ftell(file.get());
     if (payload_start < 0 || std::fseek(file.get(), 0, SEEK_END) != 0) {
-      return Status::InvalidArgument("cannot determine file size: " + path);
+      return Status::IOErrorFromErrno("size " + path, errno);
     }
     const long file_size = std::ftell(file.get());
     if (file_size < payload_start ||
@@ -107,13 +142,16 @@ class Reader {
           "declared payload size does not match the file: " + path);
     }
     if (std::fseek(file.get(), payload_start, SEEK_SET) != 0) {
-      return Status::InvalidArgument("cannot seek to payload: " + path);
+      return Status::IOErrorFromErrno("seek to payload of " + path, errno);
     }
     Reader reader;
     reader.buffer_.resize(payload_size);
     if (payload_size > 0 &&
         std::fread(reader.buffer_.data(), payload_size, 1, file.get()) !=
             1) {
+      if (std::ferror(file.get())) {
+        return Status::IOErrorFromErrno("read payload of " + path, errno);
+      }
       return Status::InvalidArgument("truncated payload: " + path);
     }
     if (Fnv1a(reader.buffer_.data(), reader.buffer_.size()) != checksum) {

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <span>
 
+#include "core/deadline.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "kernel/simd.h"
@@ -51,13 +52,18 @@ inline BlockWindow AccessibleBlockWindow(Rank t, uint32_t k,
 /// (k+1)-cursor directory (block j is list[block_offsets[j] ..
 /// block_offsets[j+1])); pass nullptr for an item outside the directory
 /// (nothing is visited).
+///
+/// When `control` is given, the sweep checks it once per block and stops
+/// early when the query's deadline expired or it was cancelled; the
+/// caller owns discarding the partial accumulator state it fed `visit`.
 template <typename Entry, typename Visit>
 size_t BlockRangeSweep(std::span<const Entry> list,
                        const uint32_t* block_offsets, BlockWindow window,
-                       Visit&& visit) {
+                       Visit&& visit, QueryControl* control = nullptr) {
   if (block_offsets == nullptr || window.empty()) return 0;
   size_t visited = 0;
   for (Rank j = window.lo; j <= window.hi; ++j) {
+    if (control != nullptr && control->ShouldStop()) break;
     const uint32_t begin = block_offsets[j];
     const uint32_t end = block_offsets[j + 1];
     if (begin == end) continue;  // skip without touching the arena

@@ -63,6 +63,7 @@
 #include <span>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
 #include "core/types.h"
@@ -199,11 +200,16 @@ class FootruleValidator {
   /// `out`, in candidate order. Full lane-width batches run the vector
   /// kernel when available; the remainder (and every candidate when SIMD
   /// is off) early-exits scalar once its running lower bound exceeds
-  /// theta. Ticks kDistanceCalls per candidate.
+  /// theta. Ticks kDistanceCalls per candidate (charged up front: an
+  /// abandoned run's partial output is discarded by the caller anyway).
+  /// `control` (optional) is polled per lane batch / per scalar
+  /// candidate — ShouldStop amortizes its own clock reads — and a stop
+  /// returns immediately with `out` truncated mid-span; the owning layer
+  /// maps the stop to a Status and must not publish the partial answer.
   void ValidateSpan(const RankingStore& store,
                     std::span<const RankingId> candidates,
                     RawDistance theta_raw, std::vector<RankingId>* out,
-                    Statistics* stats) {
+                    Statistics* stats, QueryControl* control = nullptr) {
     AddTicker(stats, Ticker::kDistanceCalls, candidates.size());
     size_t i = 0;
 #if TOPK_SIMD_DISPATCH
@@ -215,6 +221,7 @@ class FootruleValidator {
       const ItemId* flat = store.flat_items().data();
       alignas(32) uint32_t rows[kSimdLanes];
       for (; i + kSimdLanes <= candidates.size(); i += kSimdLanes) {
+        if (control != nullptr && control->ShouldStop()) return;
         for (unsigned c = 0; c < kSimdLanes; ++c) {
           rows[c] = candidates[i + c] * k_;
         }
@@ -224,6 +231,7 @@ class FootruleValidator {
     }
 #endif
     for (; i < candidates.size(); ++i) {
+      if (control != nullptr && control->ShouldStop()) return;
       if (WithinThreshold(store.view(candidates[i]), theta_raw)) {
         out->push_back(candidates[i]);
       }

@@ -1,21 +1,43 @@
 #include "mutate/mutable_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <new>
 #include <numeric>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "invidx/drop_policy.h"
 #include "storage/compressed_arena.h"
 #include "storage/compressed_augmented.h"
 #include "storage/snapshot.h"
+#include "storage/snapshot_manager.h"
 
 namespace topk {
+
+namespace {
+
+// splitmix64 drives the deterministic backoff jitter (same mixer the
+// failpoint registry uses for probability thinning).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 MutableStore::MutableStore(uint32_t k, MutableStoreOptions options)
     : k_(k), options_(options), delta_(k) {
   TOPK_DCHECK(k > 0);
   main_ = std::make_shared<MainSegment>(k_);
+  if (!options_.snapshot_dir.empty()) {
+    snapshot_manager_ = std::make_unique<storage::SnapshotManager>(
+        options_.snapshot_dir,
+        storage::SnapshotManagerOptions{options_.snapshot_keep_generations});
+  }
   if (options_.merge_threshold > 0) {
     merge_worker_ = std::thread([this] { MergeWorkerLoop(); });
   }
@@ -31,6 +53,11 @@ MutableStore::MutableStore(const RankingStore& initial,
   std::iota(main->global_ids.begin(), main->global_ids.end(), RankingId{0});
   main_ = std::move(main);
   next_global_id_ = static_cast<RankingId>(initial.size());
+  if (!options_.snapshot_dir.empty()) {
+    snapshot_manager_ = std::make_unique<storage::SnapshotManager>(
+        options_.snapshot_dir,
+        storage::SnapshotManagerOptions{options_.snapshot_keep_generations});
+  }
   if (options_.merge_threshold > 0) {
     merge_worker_ = std::thread([this] { MergeWorkerLoop(); });
   }
@@ -128,8 +155,10 @@ void MutableStore::CollectRangeLocked(const RankingStore& seg_store,
                                       const std::vector<RankingId>& global_ids,
                                       RankingView query, RawDistance theta_raw,
                                       std::vector<RankingId>* out,
-                                      Statistics* stats) {
+                                      Statistics* stats,
+                                      QueryControl* control) {
   if (seg_store.empty()) return;
+  if (control != nullptr && control->ShouldStop()) return;
   validator_.BindQuery(query,
                        static_cast<size_t>(seg_store.max_item()) + 1);
   const auto n = static_cast<RankingId>(seg_store.size());
@@ -158,44 +187,81 @@ void MutableStore::CollectRangeLocked(const RankingStore& seg_store,
   }
   AddTicker(stats, Ticker::kCandidates, pending_.size());
   accepted_.clear();
-  validator_.ValidateSpan(seg_store, pending_, theta_raw, &accepted_, stats);
+  validator_.ValidateSpan(seg_store, pending_, theta_raw, &accepted_, stats,
+                          control);
   for (const RankingId local : accepted_) {
     out->push_back(global_ids[local]);
   }
 }
 
+namespace {
+
+/// Maps an observed stop to its Status and ticks the deadline counter.
+Status StopStatus(const QueryControl& control, const char* what,
+                  Statistics* stats) {
+  AddTicker(stats, Ticker::kDeadlineExceeded);
+  if (control.cancelled()) {
+    return Status::Aborted(std::string(what) + " cancelled");
+  }
+  return Status::DeadlineExceeded(std::string(what) +
+                                  " exceeded its deadline");
+}
+
+}  // namespace
+
 std::vector<RankingId> MutableStore::RangeQuery(const PreparedQuery& query,
                                                 RawDistance theta_raw,
                                                 Statistics* stats) {
+  std::vector<RankingId> out;
+  const Status status = RangeQuery(query, theta_raw, nullptr, &out, stats);
+  TOPK_DCHECK(status.ok());  // unconstrained queries cannot stop
+  (void)status;
+  return out;
+}
+
+Status MutableStore::RangeQuery(const PreparedQuery& query,
+                                RawDistance theta_raw, QueryControl* control,
+                                std::vector<RankingId>* out,
+                                Statistics* stats) {
   MutexLock lock(&mutex_);
   TOPK_DCHECK(query.k() == k_);
-  std::vector<RankingId> out;
+  out->clear();
   CollectRangeLocked(main_->store, main_->index, main_->global_ids,
-                     query.view(), theta_raw, &out, stats);
+                     query.view(), theta_raw, out, stats, control);
   if (sealed_ != nullptr) {
     CollectRangeLocked(sealed_->store, sealed_->index, sealed_->global_ids,
-                       query.view(), theta_raw, &out, stats);
+                       query.view(), theta_raw, out, stats, control);
   }
   CollectRangeLocked(delta_.store, delta_.index, delta_.global_ids,
-                     query.view(), theta_raw, &out, stats);
+                     query.view(), theta_raw, out, stats, control);
+  if (control != nullptr && control->stopped()) {
+    // Partial per-segment results are not an answer; discard them so a
+    // caller can never mistake a timed-out query for a small result.
+    out->clear();
+    return StopStatus(*control, "range query", stats);
+  }
   // Per-segment accepts arrive in filter order; one sort restores the
   // ascending-global-id contract (segment id ranges are disjoint, so
   // this equals a k-way merge of sorted per-segment lists).
-  std::sort(out.begin(), out.end());
-  AddTicker(stats, Ticker::kResults, out.size());
-  return out;
+  std::sort(out->begin(), out->end());
+  AddTicker(stats, Ticker::kResults, out->size());
+  return Status::OK();
 }
 
 void MutableStore::CollectKnnLocked(const RankingStore& seg_store,
                                     const std::vector<RankingId>& global_ids,
                                     RankingView query,
                                     std::vector<Neighbor>* out,
-                                    Statistics* stats) {
+                                    Statistics* stats,
+                                    QueryControl* control) {
   if (seg_store.empty()) return;
   validator_.BindQuery(query,
                        static_cast<size_t>(seg_store.max_item()) + 1);
   const auto n = static_cast<RankingId>(seg_store.size());
   for (RankingId local = 0; local < n; ++local) {
+    // ShouldStop amortizes its own clock reads, so the per-row cost is a
+    // countdown compare.
+    if (control != nullptr && control->ShouldStop()) return;
     const RankingId global = global_ids[local];
     if (tombstones_.count(global) != 0) continue;
     AddTicker(stats, Ticker::kDistanceCalls);
@@ -206,25 +272,40 @@ void MutableStore::CollectKnnLocked(const RankingStore& seg_store,
 
 std::vector<Neighbor> MutableStore::KnnQuery(const PreparedQuery& query,
                                              size_t j, Statistics* stats) {
+  std::vector<Neighbor> out;
+  const Status status = KnnQuery(query, j, nullptr, &out, stats);
+  TOPK_DCHECK(status.ok());  // unconstrained queries cannot stop
+  (void)status;
+  return out;
+}
+
+Status MutableStore::KnnQuery(const PreparedQuery& query, size_t j,
+                              QueryControl* control,
+                              std::vector<Neighbor>* out, Statistics* stats) {
   MutexLock lock(&mutex_);
   TOPK_DCHECK(query.k() == k_);
-  std::vector<Neighbor> all;
-  CollectKnnLocked(main_->store, main_->global_ids, query.view(), &all,
-                   stats);
+  out->clear();
+  CollectKnnLocked(main_->store, main_->global_ids, query.view(), out, stats,
+                   control);
   if (sealed_ != nullptr) {
-    CollectKnnLocked(sealed_->store, sealed_->global_ids, query.view(), &all,
-                     stats);
+    CollectKnnLocked(sealed_->store, sealed_->global_ids, query.view(), out,
+                     stats, control);
   }
-  CollectKnnLocked(delta_.store, delta_.global_ids, query.view(), &all,
-                   stats);
+  CollectKnnLocked(delta_.store, delta_.global_ids, query.view(), out, stats,
+                   control);
+  if (control != nullptr && control->stopped()) {
+    out->clear();
+    return StopStatus(*control, "knn query", stats);
+  }
   const auto by_distance_then_id = [](const Neighbor& a, const Neighbor& b) {
     return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
   };
-  const size_t take = std::min(j, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(take),
-                    all.end(), by_distance_then_id);
-  all.resize(take);
-  return all;
+  const size_t take = std::min(j, out->size());
+  std::partial_sort(out->begin(),
+                    out->begin() + static_cast<ptrdiff_t>(take), out->end(),
+                    by_distance_then_id);
+  out->resize(take);
+  return Status::OK();
 }
 
 void MutableStore::SealLocked() {
@@ -278,26 +359,109 @@ MutableStore::BuildMergedSegment(
   return next;
 }
 
+void MutableStore::BackoffSleep(int attempt) const {
+  const int shift = std::min(attempt - 1, 20);
+  const double base =
+      options_.merge_backoff_initial_ms * static_cast<double>(1ull << shift);
+  const double capped =
+      std::min(base, std::max(options_.merge_backoff_max_ms,
+                              options_.merge_backoff_initial_ms));
+  // Deterministic full jitter in [capped/2, capped]: decorrelates
+  // colliding retriers without nondeterminism in tests.
+  const uint64_t mixed = SplitMix64(options_.merge_backoff_seed ^
+                                    static_cast<uint64_t>(attempt));
+  const double fraction = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  const double ms = capped * (0.5 + 0.5 * fraction);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+std::shared_ptr<const MutableStore::MainSegment>
+MutableStore::BuildMergedSegmentWithRetries(
+    const MainSegment& main, const DeltaSegment& sealed,
+    const std::unordered_set<RankingId>& dead) {
+  const int max_attempts = std::max(1, options_.merge_max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    if (!TOPK_FAILPOINT("mutate.merge.rebuild")) {
+      try {
+        return BuildMergedSegment(main, sealed, dead);
+      } catch (const std::bad_alloc&) {
+        // Allocation pressure is the one real-world failure a rebuild
+        // has; it is exactly as transient as an injected fault.
+      }
+    }
+    merge_retries_.fetch_add(1, std::memory_order_acq_rel);
+    if (attempt >= max_attempts) return nullptr;
+    BackoffSleep(attempt);
+  }
+}
+
+bool MutableStore::FinishMergeCycle(
+    std::shared_ptr<const MainSegment> main_snapshot,
+    std::shared_ptr<const DeltaSegment> sealed_snapshot,
+    std::unordered_set<RankingId> consumed) {
+  // The rebuild runs with no lock held: writers land in the fresh
+  // delta and readers query main + sealed + delta the whole time.
+  auto next = BuildMergedSegmentWithRetries(*main_snapshot, *sealed_snapshot,
+                                            consumed);
+  {
+    MutexLock lock(&mutex_);
+    merge_in_flight_ = false;
+    if (next == nullptr) {
+      // Circuit breaker: stop burning rebuild attempts. The sealed
+      // segment stays installed and keeps serving exactly alongside the
+      // delta (degraded but correct); MergeNow()/ResetMergeCircuit()
+      // close the circuit.
+      merge_circuit_open_ = true;
+      last_merge_status_ = Status::Aborted(
+          "merge rebuild failed after " +
+          std::to_string(std::max(1, options_.merge_max_attempts)) +
+          " attempts; circuit open, serving from sealed + delta");
+      merge_cv_.NotifyAll();
+      return false;
+    }
+    last_merge_status_ = Status::OK();
+    InstallMergedLocked(next, consumed);
+  }
+  MaybeEmitSnapshot(*next);
+  return true;
+}
+
 bool MutableStore::MergeNow() {
   std::shared_ptr<const MainSegment> main_snapshot;
   std::shared_ptr<const DeltaSegment> sealed_snapshot;
   std::unordered_set<RankingId> consumed;
   {
     MutexLock lock(&mutex_);
-    while (sealed_ != nullptr) merge_cv_.Wait(mutex_);
-    if (delta_.store.empty() && tombstones_.empty()) return false;
-    SealLocked();
+    while (merge_in_flight_) merge_cv_.Wait(mutex_);
+    // An explicit MergeNow doubles as the recovery lever: close an open
+    // circuit and try again.
+    merge_circuit_open_ = false;
+    if (sealed_ == nullptr && delta_.store.empty() && tombstones_.empty()) {
+      return false;
+    }
+    merge_in_flight_ = true;
+    if (sealed_ == nullptr) {
+      SealLocked();
+      consumed = tombstones_;  // delta is now empty: all are consumable
+    } else {
+      // A sealed segment left over from a failed cycle: the active delta
+      // has kept absorbing writes since, so only tombstones on rows this
+      // rebuild actually drops may be retired at the swap — erasing a
+      // delta-row tombstone here would resurrect the row.
+      for (const RankingId id : tombstones_) {
+        if (std::binary_search(main_->global_ids.begin(),
+                               main_->global_ids.end(), id) ||
+            std::binary_search(sealed_->global_ids.begin(),
+                               sealed_->global_ids.end(), id)) {
+          consumed.insert(id);
+        }
+      }
+    }
     main_snapshot = main_;
     sealed_snapshot = sealed_;
-    consumed = tombstones_;
   }
-  auto next = BuildMergedSegment(*main_snapshot, *sealed_snapshot, consumed);
-  {
-    MutexLock lock(&mutex_);
-    InstallMergedLocked(next, consumed);
-  }
-  MaybeEmitSnapshot(*next);
-  return true;
+  return FinishMergeCycle(std::move(main_snapshot),
+                          std::move(sealed_snapshot), std::move(consumed));
 }
 
 void MutableStore::MergeWorkerLoop() {
@@ -308,30 +472,36 @@ void MutableStore::MergeWorkerLoop() {
     {
       MutexLock lock(&mutex_);
       while (!stop_worker_ &&
-             (sealed_ != nullptr ||
+             (merge_in_flight_ || merge_circuit_open_ ||
               delta_.store.size() < options_.merge_threshold)) {
         merge_cv_.Wait(mutex_);
       }
       if (stop_worker_) return;
-      SealLocked();
+      merge_in_flight_ = true;
+      if (sealed_ == nullptr) {
+        SealLocked();
+        consumed = tombstones_;
+      } else {
+        // Same leftover-sealed rule as MergeNow (see there).
+        for (const RankingId id : tombstones_) {
+          if (std::binary_search(main_->global_ids.begin(),
+                                 main_->global_ids.end(), id) ||
+              std::binary_search(sealed_->global_ids.begin(),
+                                 sealed_->global_ids.end(), id)) {
+            consumed.insert(id);
+          }
+        }
+      }
       main_snapshot = main_;
       sealed_snapshot = sealed_;
-      consumed = tombstones_;
     }
-    // The rebuild runs with no lock held: writers land in the fresh
-    // delta and readers query main + sealed + delta the whole time.
-    auto next =
-        BuildMergedSegment(*main_snapshot, *sealed_snapshot, consumed);
-    {
-      MutexLock lock(&mutex_);
-      InstallMergedLocked(next, consumed);
-    }
-    MaybeEmitSnapshot(*next);
+    FinishMergeCycle(std::move(main_snapshot), std::move(sealed_snapshot),
+                     std::move(consumed));
   }
 }
 
 void MutableStore::MaybeEmitSnapshot(const MainSegment& segment) {
-  if (options_.snapshot_path.empty()) return;
+  if (options_.snapshot_path.empty() && snapshot_manager_ == nullptr) return;
   Status status;
   if (segment.store.empty()) {
     // WriteStoreSnapshot rejects empty stores; a merge that compacted
@@ -345,9 +515,26 @@ void MutableStore::MaybeEmitSnapshot(const MainSegment& segment) {
     // serves the compressed augmented engine too (TOPKSNP2).
     const auto augmented =
         storage::CompressedAugmentedIndex::Build(segment.store);
-    status = storage::WriteStoreSnapshot(segment.store, arena,
-                                         augmented.arena(),
-                                         options_.snapshot_path);
+    // Emission gets the same retry-with-backoff treatment as the
+    // rebuild: a transient write failure must not cost the durability of
+    // this merge's image. Exhausted attempts are recorded, not thrown —
+    // the in-RAM store is unaffected either way.
+    const int max_attempts = std::max(1, options_.merge_max_attempts);
+    for (int attempt = 1;; ++attempt) {
+      if (TOPK_FAILPOINT("mutate.snapshot.emit")) {
+        status = Status::IOError("injected failure: mutate.snapshot.emit");
+      } else if (snapshot_manager_ != nullptr) {
+        status = snapshot_manager_->WriteSnapshot(segment.store, arena,
+                                                  augmented.arena());
+      } else {
+        status = storage::WriteStoreSnapshot(segment.store, arena,
+                                             augmented.arena(),
+                                             options_.snapshot_path);
+      }
+      if (status.ok() || attempt >= max_attempts) break;
+      merge_retries_.fetch_add(1, std::memory_order_acq_rel);
+      BackoffSleep(attempt);
+    }
   }
   MutexLock lock(&mutex_);
   last_snapshot_status_ = status;
@@ -356,6 +543,24 @@ void MutableStore::MaybeEmitSnapshot(const MainSegment& segment) {
 Status MutableStore::last_snapshot_status() const {
   MutexLock lock(&mutex_);
   return last_snapshot_status_;
+}
+
+Status MutableStore::last_merge_status() const {
+  MutexLock lock(&mutex_);
+  return last_merge_status_;
+}
+
+bool MutableStore::merge_circuit_open() const {
+  MutexLock lock(&mutex_);
+  return merge_circuit_open_;
+}
+
+void MutableStore::ResetMergeCircuit() {
+  {
+    MutexLock lock(&mutex_);
+    merge_circuit_open_ = false;
+  }
+  merge_cv_.NotifyAll();
 }
 
 }  // namespace topk

@@ -73,6 +73,7 @@
 #include <vector>
 
 #include "adapt/delta_inverted_index.h"
+#include "core/deadline.h"
 #include "core/mutex.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
@@ -84,6 +85,10 @@
 #include "metric/knn.h"
 
 namespace topk {
+
+namespace storage {
+class SnapshotManager;
+}  // namespace storage
 
 struct MutableStoreOptions {
   /// Delta size at which the background worker seals and merges. 0 means
@@ -99,8 +104,30 @@ struct MutableStoreOptions {
   /// the segment's rows in physical order (its dense local ids, not the
   /// sparse global ids) — it is a serving image for the frozen mmap
   /// tier, not a replayable WAL. Failures are recorded, not thrown:
-  /// poll last_snapshot_status().
+  /// poll last_snapshot_status(). Ignored when snapshot_dir is set.
   std::string snapshot_path;
+
+  /// When non-empty, merge-emitted snapshots go through a
+  /// storage::SnapshotManager on this directory instead of a single
+  /// fixed path: each emission is a new crash-safe generation, the
+  /// newest snapshot_keep_generations are retained, and recovery
+  /// (SnapshotManager::OpenNewestValid on the same directory) survives
+  /// a SIGKILL at any point of any write. Takes precedence over
+  /// snapshot_path.
+  std::string snapshot_dir;
+  size_t snapshot_keep_generations = 3;
+
+  /// Merge/emission retry policy: a failed rebuild or snapshot write is
+  /// retried up to merge_max_attempts times with exponential backoff
+  /// (initial -> max ms, deterministic jitter seeded by
+  /// merge_backoff_seed). When every attempt fails the merge circuit
+  /// opens: background merging stops, the sealed + delta segments keep
+  /// serving exactly (degraded but correct), and MergeNow() /
+  /// ResetMergeCircuit() close the circuit again.
+  int merge_max_attempts = 3;
+  double merge_backoff_initial_ms = 1.0;
+  double merge_backoff_max_ms = 100.0;
+  uint64_t merge_backoff_seed = 0x9e3779b97f4a7c15ull;
 };
 
 class MutableStore {
@@ -142,6 +169,15 @@ class MutableStore {
                                     Statistics* stats = nullptr)
       TOPK_EXCLUDES(mutex_);
 
+  /// Deadline/cancel-aware range query: cooperative checks run at
+  /// segment and validation-batch granularity through `control`
+  /// (nullptr = unconstrained). On a stop the partial answer is
+  /// discarded, `out` is cleared, kDeadlineExceeded ticks, and the
+  /// status is DeadlineExceeded (clock) or Aborted (cancel token).
+  Status RangeQuery(const PreparedQuery& query, RawDistance theta_raw,
+                    QueryControl* control, std::vector<RankingId>* out,
+                    Statistics* stats = nullptr) TOPK_EXCLUDES(mutex_);
+
   /// The j alive rankings nearest to `query`, sorted by (distance,
   /// global id), exactly min(j, live_size()) entries — bit-identical to
   /// LinearScanKnn over the rebuilt store.
@@ -149,15 +185,37 @@ class MutableStore {
                                  Statistics* stats = nullptr)
       TOPK_EXCLUDES(mutex_);
 
+  /// Deadline/cancel-aware k-NN (same stop contract as the range
+  /// overload, with per-row amortized checks).
+  Status KnnQuery(const PreparedQuery& query, size_t j,
+                  QueryControl* control, std::vector<Neighbor>* out,
+                  Statistics* stats = nullptr) TOPK_EXCLUDES(mutex_);
+
   /// Runs one seal -> rebuild -> swap cycle on the calling thread (waits
-  /// first if another merge is in flight). Returns false without doing
-  /// anything when there is nothing to merge (empty delta, no
-  /// tombstones). Deterministic-mode counterpart of the worker.
+  /// first if another merge is in flight). Also the operator's recovery
+  /// lever: an open merge circuit is closed before the attempt. Returns
+  /// true iff a merged segment was installed — false when there was
+  /// nothing to merge OR when every rebuild attempt failed and the
+  /// circuit (re)opened; poll last_merge_status() to tell which.
   bool MergeNow() TOPK_EXCLUDES(mutex_);
+
+  /// Outcome of the most recent merge cycle (OK until one fails).
+  Status last_merge_status() const TOPK_EXCLUDES(mutex_);
+  /// Whether the merge circuit breaker is open (background merging
+  /// suspended after merge_max_attempts consecutive rebuild failures;
+  /// sealed + delta keep serving exactly).
+  bool merge_circuit_open() const TOPK_EXCLUDES(mutex_);
+  /// Closes an open circuit so the background worker may merge again.
+  void ResetMergeCircuit() TOPK_EXCLUDES(mutex_);
+  /// Rebuild/emission attempts that failed and were retried (or gave
+  /// up); the bench and tests read this where no Statistics flows.
+  uint64_t merge_retries() const {
+    return merge_retries_.load(std::memory_order_acquire);
+  }
 
   /// Outcome of the most recent merge-emitted snapshot write (OK until
   /// the first one happens). Meaningful only with a non-empty
-  /// options.snapshot_path.
+  /// options.snapshot_path or snapshot_dir.
   Status last_snapshot_status() const TOPK_EXCLUDES(mutex_);
 
   /// Registers `listener` to run (under the store mutex) after every
@@ -219,6 +277,24 @@ class MutableStore {
       const MainSegment& main, const DeltaSegment& sealed,
       const std::unordered_set<RankingId>& dead) const;
 
+  /// BuildMergedSegment under the retry policy: injected
+  /// (mutate.merge.rebuild) or allocation failures back off and retry up
+  /// to merge_max_attempts; nullptr when every attempt failed.
+  std::shared_ptr<const MainSegment> BuildMergedSegmentWithRetries(
+      const MainSegment& main, const DeltaSegment& sealed,
+      const std::unordered_set<RankingId>& dead);
+
+  /// Off-lock tail of a claimed merge cycle (rebuild with retries, then
+  /// install or open the circuit, then emit the snapshot). The caller
+  /// must have set merge_in_flight_ and sealed/snapshotted the inputs.
+  bool FinishMergeCycle(std::shared_ptr<const MainSegment> main_snapshot,
+                        std::shared_ptr<const DeltaSegment> sealed_snapshot,
+                        std::unordered_set<RankingId> consumed)
+      TOPK_EXCLUDES(mutex_);
+
+  /// Exponential backoff with deterministic jitter for attempt >= 1.
+  void BackoffSleep(int attempt) const;
+
   void MergeWorkerLoop() TOPK_EXCLUDES(mutex_);
 
   /// Off-lock snapshot emission of a freshly installed main segment
@@ -233,13 +309,14 @@ class MutableStore {
   void CollectRangeLocked(const RankingStore& seg_store, const Index& index,
                           const std::vector<RankingId>& global_ids,
                           RankingView query, RawDistance theta_raw,
-                          std::vector<RankingId>* out, Statistics* stats)
-      TOPK_REQUIRES(mutex_);
+                          std::vector<RankingId>* out, Statistics* stats,
+                          QueryControl* control) TOPK_REQUIRES(mutex_);
 
   void CollectKnnLocked(const RankingStore& seg_store,
                         const std::vector<RankingId>& global_ids,
                         RankingView query, std::vector<Neighbor>* out,
-                        Statistics* stats) TOPK_REQUIRES(mutex_);
+                        Statistics* stats, QueryControl* control)
+      TOPK_REQUIRES(mutex_);
 
   const uint32_t k_;
   const MutableStoreOptions options_;
@@ -251,8 +328,10 @@ class MutableStore {
   CondVar merge_cv_;
 
   std::shared_ptr<const MainSegment> main_ TOPK_GUARDED_BY(mutex_);
-  /// Non-null exactly while a merge is in flight (doubles as the
-  /// in-flight flag MergeNow/the worker wait on).
+  /// Non-null while a sealed segment awaits merging. Usually that means
+  /// a merge is in flight, but after a failed cycle (open circuit) the
+  /// sealed segment outlives the attempt and keeps serving — the
+  /// in-flight claim is merge_in_flight_, not this pointer.
   std::shared_ptr<const DeltaSegment> sealed_ TOPK_GUARDED_BY(mutex_);
   DeltaSegment delta_ TOPK_GUARDED_BY(mutex_);
   /// Dead global ids still physically present in some segment.
@@ -260,6 +339,12 @@ class MutableStore {
   RankingId next_global_id_ TOPK_GUARDED_BY(mutex_) = 0;
   std::vector<std::function<void()>> listeners_ TOPK_GUARDED_BY(mutex_);
   bool stop_worker_ TOPK_GUARDED_BY(mutex_) = false;
+  /// Exactly one merge cycle owns the rebuild at a time.
+  bool merge_in_flight_ TOPK_GUARDED_BY(mutex_) = false;
+  /// Open after merge_max_attempts consecutive rebuild failures; the
+  /// worker stops attempting until MergeNow()/ResetMergeCircuit().
+  bool merge_circuit_open_ TOPK_GUARDED_BY(mutex_) = false;
+  Status last_merge_status_ TOPK_GUARDED_BY(mutex_);
   Status last_snapshot_status_ TOPK_GUARDED_BY(mutex_);
 
   /// Query scratch, reused across queries (queries serialize on mutex_).
@@ -270,6 +355,13 @@ class MutableStore {
 
   /// Starts at 1: generation 0 is never published (reserved-zero rule).
   std::atomic<uint64_t> generation_{1};
+
+  /// Failed-and-retried rebuild/emission attempts (monotone).
+  std::atomic<uint64_t> merge_retries_{0};
+
+  /// Crash-safe generation lifecycle when options_.snapshot_dir is set;
+  /// emissions are serialized by the merge_in_flight_ claim.
+  std::unique_ptr<storage::SnapshotManager> snapshot_manager_;
 
   std::thread merge_worker_;
 };

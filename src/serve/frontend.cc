@@ -12,6 +12,18 @@
 
 namespace topk {
 
+namespace {
+
+/// Stopped control -> caller-facing status + the deadline ticker (the
+/// counter covers cancellations too: both mean "stopped by request").
+Status StopStatus(const QueryControl& control, Statistics* stats) {
+  AddTicker(stats, Ticker::kDeadlineExceeded);
+  if (control.cancelled()) return Status::Aborted("request cancelled");
+  return Status::DeadlineExceeded("request deadline exceeded");
+}
+
+}  // namespace
+
 bool CandidateCacheApplies(Algorithm algorithm) {
   return algorithm == Algorithm::kFV || algorithm == Algorithm::kLinearScan;
 }
@@ -78,9 +90,35 @@ void QueryFrontend::PrepareLocked(Algorithm algorithm) {
   }
 }
 
+std::vector<ServeResponse> QueryFrontend::ShedBatch(
+    std::span<const ServeRequest> requests, Statistics* stats) const {
+  std::vector<ServeResponse> responses(requests.size());
+  for (ServeResponse& response : responses) {
+    response.status =
+        Status::Unavailable("frontend at capacity; retry after back-off");
+    response.retry_after_ms = options_.shed_retry_after_ms;
+  }
+  AddTicker(stats, Ticker::kLoadShed, requests.size());
+  return responses;
+}
+
 std::vector<ServeResponse> QueryFrontend::ServeBatch(
     std::span<const ServeRequest> requests, Statistics* stats,
     PhaseTimes* phases) {
+  // Admission BEFORE the coordinator mutex: with the limit reached the
+  // caller is told to back off immediately instead of queueing on the
+  // lock for an unbounded wait (that queue is invisible to clients and
+  // grows without bound under overload — shedding keeps the tail finite).
+  struct InflightGuard {
+    std::atomic<size_t>* gauge;
+    ~InflightGuard() { gauge->fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{&inflight_batches_};
+  const size_t inflight =
+      inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.max_inflight_batches > 0 &&
+      inflight >= options_.max_inflight_batches) {
+    return ShedBatch(requests, stats);
+  }
   MutexLock lock(&serve_mutex_);
   return ServeBatchLocked(requests, stats, phases, nullptr);
 }
@@ -159,46 +197,79 @@ void QueryFrontend::ServeOne(Executor* executor, const ServeRequest& request,
   if (request.query->k() != store_->k()) {
     throw std::invalid_argument("query size does not match the store's k");
   }
-  // With the result cache disabled there is no key to build and no
-  // miss to account — the request goes straight to its engine.
-  if (!result_cache_.enabled()) {
+  QueryControl control(request.deadline, request.cancel);
+  // A request already past its deadline (it sat behind slower batch
+  // peers) fails fast — except through the result cache below, whose
+  // lookup is cheaper than building the rejection.
+  const bool cacheable = result_cache_.enabled();
+  if (!cacheable && control.ShouldStop()) {
+    response->status = StopStatus(control, &executor->stats);
+    return;
+  }
+  if (cacheable) {
+    const ResultCacheKey key =
+        request.kind == ServeKind::kRange
+            ? MakeResultCacheKey(ServeKind::kRange,
+                                 static_cast<uint32_t>(request.algorithm),
+                                 request.theta_raw, *request.query)
+            : MakeResultCacheKey(ServeKind::kKnn,
+                                 static_cast<uint32_t>(request.algorithm),
+                                 request.j, *request.query);
+    const bool hit =
+        request.kind == ServeKind::kRange
+            ? result_cache_.LookupRange(key, epoch, &response->ids,
+                                        &executor->stats)
+            : result_cache_.LookupKnn(key, epoch, &response->neighbors,
+                                      &executor->stats);
+    if (hit) {
+      response->result_cache_hit = true;
+      return;
+    }
+    if (control.ShouldStop()) {
+      response->status = StopStatus(control, &executor->stats);
+      return;
+    }
     if (request.kind == ServeKind::kRange) {
-      response->ids = ServeRange(executor, request, epoch, response);
+      response->ids = ServeRange(executor, request, epoch, response, &control);
     } else {
       response->neighbors = ServeKnn(executor, request);
+    }
+    // A stopped request discards its partial answer and is NEVER
+    // cached: a truncated result under an OK-looking cache entry would
+    // poison every later identical query.
+    if (control.ShouldStop()) {
+      response->ids.clear();
+      response->neighbors.clear();
+      response->candidate_cache_hit = false;
+      response->status = StopStatus(control, &executor->stats);
+      return;
+    }
+    if (request.kind == ServeKind::kRange) {
+      result_cache_.InsertRange(key, epoch, response->ids, &executor->stats);
+    } else {
+      result_cache_.InsertKnn(key, epoch, response->neighbors,
+                              &executor->stats);
     }
     return;
   }
   if (request.kind == ServeKind::kRange) {
-    const ResultCacheKey key = MakeResultCacheKey(
-        ServeKind::kRange, static_cast<uint32_t>(request.algorithm),
-        request.theta_raw, *request.query);
-    if (result_cache_.LookupRange(key, epoch, &response->ids,
-                                  &executor->stats)) {
-      response->result_cache_hit = true;
-      return;
-    }
-    response->ids = ServeRange(executor, request, epoch, response);
-    result_cache_.InsertRange(key, epoch, response->ids, &executor->stats);
+    response->ids = ServeRange(executor, request, epoch, response, &control);
   } else {
-    const ResultCacheKey key = MakeResultCacheKey(
-        ServeKind::kKnn, static_cast<uint32_t>(request.algorithm), request.j,
-        *request.query);
-    if (result_cache_.LookupKnn(key, epoch, &response->neighbors,
-                                &executor->stats)) {
-      response->result_cache_hit = true;
-      return;
-    }
     response->neighbors = ServeKnn(executor, request);
-    result_cache_.InsertKnn(key, epoch, response->neighbors,
-                            &executor->stats);
+  }
+  if (control.ShouldStop()) {
+    response->ids.clear();
+    response->neighbors.clear();
+    response->candidate_cache_hit = false;
+    response->status = StopStatus(control, &executor->stats);
   }
 }
 
 std::vector<RankingId> QueryFrontend::ServeRange(Executor* executor,
                                                  const ServeRequest& request,
                                                  uint64_t epoch,
-                                                 ServeResponse* response) {
+                                                 ServeResponse* response,
+                                                 QueryControl* control) {
   const PreparedQuery& query = *request.query;
   // The candidate union is only a provable superset below dmax (a
   // disjoint ranking sits at exactly dmax and appears in no posting
@@ -216,8 +287,8 @@ std::vector<RankingId> QueryFrontend::ServeRange(Executor* executor,
     // superset against this query's exact distances.
     response->candidate_cache_hit = true;
     Stopwatch watch;
-    std::vector<RankingId> results =
-        ValidateCandidates(executor, *memoized, query, request.theta_raw);
+    std::vector<RankingId> results = ValidateCandidates(
+        executor, *memoized, query, request.theta_raw, control);
     executor->phases.validate_ms += watch.ElapsedMillis();
     return results;
   }
@@ -232,9 +303,12 @@ std::vector<RankingId> QueryFrontend::ServeRange(Executor* executor,
   std::vector<RankingId> candidates = PostingUnion(executor, query);
   executor->phases.filter_ms += watch.ElapsedMillis();
   watch.Restart();
-  std::vector<RankingId> results =
-      ValidateCandidates(executor, candidates, query, request.theta_raw);
+  std::vector<RankingId> results = ValidateCandidates(
+      executor, candidates, query, request.theta_raw, control);
   executor->phases.validate_ms += watch.ElapsedMillis();
+  // The memoized union is still exact when the query stopped mid-
+  // validation (the filter phase completed to produce it), so inserting
+  // it is safe — only the *answer* is withheld by the caller.
   candidate_cache_.Insert(key, epoch, std::move(candidates),
                           &executor->stats);
   return results;
@@ -284,14 +358,15 @@ std::vector<RankingId> QueryFrontend::PostingUnion(
 
 std::vector<RankingId> QueryFrontend::ValidateCandidates(
     Executor* executor, std::span<const RankingId> candidates,
-    const PreparedQuery& query, RawDistance theta_raw) const {
+    const PreparedQuery& query, RawDistance theta_raw,
+    QueryControl* control) const {
   Statistics* stats = &executor->stats;
   std::vector<RankingId> results;
   AddTicker(stats, Ticker::kCandidates, candidates.size());
   executor->validator.BindQuery(query.view(),
                                 static_cast<size_t>(store_->max_item()) + 1);
   executor->validator.ValidateSpan(*store_, candidates, theta_raw, &results,
-                                   stats);
+                                   stats, control);
   AddTicker(stats, Ticker::kResults, results.size());
   return results;
 }
@@ -299,6 +374,14 @@ std::vector<RankingId> QueryFrontend::ValidateCandidates(
 RunResult QueryFrontend::ServeWorkload(Algorithm algorithm,
                                        std::span<const PreparedQuery> queries,
                                        RawDistance theta_raw) {
+  // Workloads count toward the admission gauge (they hold the
+  // coordinator for a long time) but are never shed themselves — the
+  // measurement loop is operator-driven, not client traffic.
+  struct InflightGuard {
+    std::atomic<size_t>* gauge;
+    ~InflightGuard() { gauge->fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{&inflight_batches_};
+  inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
   MutexLock lock(&serve_mutex_);
   PrepareLocked(algorithm);
   std::vector<ServeRequest> requests;

@@ -58,9 +58,11 @@
 #include <span>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/mutex.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
+#include "core/status.h"
 #include "core/thread_annotations.h"
 #include "core/types.h"
 #include "harness/query_algorithms.h"
@@ -86,6 +88,16 @@ struct ServeRequest {
   const PreparedQuery* query = nullptr;
   RawDistance theta_raw = 0;  // range requests
   size_t j = 0;               // k-NN requests
+  /// Per-request deadline; infinite by default. An expired request is
+  /// answered with Status::DeadlineExceeded and an empty result (a
+  /// result-cache hit still serves — it beats the deadline by
+  /// construction); a request that expires mid-execution discards its
+  /// partial answer and is never cached.
+  Deadline deadline = Deadline::Infinite();
+  /// Optional cooperative cancellation; must outlive the batch. A
+  /// tripped token answers with Status::Aborted under the same
+  /// discard-partials rule as the deadline.
+  const CancelToken* cancel = nullptr;
 
   static ServeRequest Range(Algorithm algorithm, const PreparedQuery& query,
                             RawDistance theta_raw) {
@@ -107,6 +119,11 @@ struct ServeResponse {
   std::vector<Neighbor> neighbors;  // k-NN answer, (distance, id) ascending
   bool result_cache_hit = false;
   bool candidate_cache_hit = false;
+  /// OK for a served answer; DeadlineExceeded / Aborted / Unavailable
+  /// for a request that was stopped or shed (ids/neighbors empty then).
+  Status status = Status::OK();
+  /// Client back-off hint, set only with Status::Unavailable.
+  double retry_after_ms = 0.0;
 };
 
 struct QueryFrontendOptions {
@@ -120,6 +137,14 @@ struct QueryFrontendOptions {
   size_t candidate_cache_capacity = 16 * 1024;
   /// Lock shards per cache (clamped to capacity).
   size_t cache_shards = 8;
+  /// Admission control: batches admitted concurrently (counting the one
+  /// holding the serve mutex *and* the ones queued behind it). When a
+  /// caller would push the count past this, the whole batch is shed —
+  /// every response carries Status::Unavailable + retry_after_ms and no
+  /// engine runs — instead of queueing unboundedly. 0 disables shedding.
+  size_t max_inflight_batches = 0;
+  /// Back-off hint stamped on shed responses.
+  double shed_retry_after_ms = 50.0;
   /// Forwarded to the shared EngineSuite.
   EngineSuiteConfig suite_config;
 };
@@ -146,6 +171,11 @@ class QueryFrontend {
   }
   size_t result_cache_size() const { return result_cache_.size(); }
   size_t candidate_cache_size() const { return candidate_cache_.size(); }
+  /// Batches currently admitted — running plus queued on the serve mutex
+  /// (the gauge max_inflight_batches sheds on; an operator load signal).
+  size_t inflight_batches() const {
+    return inflight_batches_.load(std::memory_order_acquire);
+  }
 
   /// Builds the shared indexes and the per-executor engines behind
   /// `algorithm` (range and/or k-NN use). Idempotent; ServeBatch prepares
@@ -212,11 +242,16 @@ class QueryFrontend {
   void PrepareEngines(Algorithm algorithm) TOPK_REQUIRES(serve_mutex_);
   /// Prepare's body, for callers already inside the coordinator section.
   void PrepareLocked(Algorithm algorithm) TOPK_REQUIRES(serve_mutex_);
+  /// Shed path: stamps every response Unavailable with the retry hint,
+  /// ticking kLoadShed per request; no engine, cache, or pool touched.
+  std::vector<ServeResponse> ShedBatch(std::span<const ServeRequest> requests,
+                                       Statistics* stats) const;
   void ServeOne(Executor* executor, const ServeRequest& request,
                 uint64_t epoch, ServeResponse* response);
   std::vector<RankingId> ServeRange(Executor* executor,
                                     const ServeRequest& request,
-                                    uint64_t epoch, ServeResponse* response);
+                                    uint64_t epoch, ServeResponse* response,
+                                    QueryControl* control);
   std::vector<RankingId> RunEngine(Executor* executor,
                                    const ServeRequest& request);
   std::vector<Neighbor> ServeKnn(Executor* executor,
@@ -230,7 +265,8 @@ class QueryFrontend {
   /// validate phase would.
   std::vector<RankingId> ValidateCandidates(
       Executor* executor, std::span<const RankingId> candidates,
-      const PreparedQuery& query, RawDistance theta_raw) const;
+      const PreparedQuery& query, RawDistance theta_raw,
+      QueryControl* control = nullptr) const;
 
   const RankingStore* store_;
   QueryFrontendOptions options_;
@@ -258,6 +294,9 @@ class QueryFrontend {
   const MTree* m_tree_ = nullptr;                    // built by Prepare
   const CoarseIndex* coarse_index_ = nullptr;
   std::atomic<uint64_t> epoch_{0};
+  /// Batches admitted and not yet finished (includes callers queued on
+  /// serve_mutex_) — the admission-control gauge ServeBatch sheds on.
+  std::atomic<size_t> inflight_batches_{0};
 };
 
 }  // namespace topk

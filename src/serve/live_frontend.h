@@ -32,7 +32,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/statistics.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "metric/knn.h"
 #include "mutate/mutable_store.h"
@@ -52,6 +54,12 @@ struct LiveFrontendOptions {
   /// behavior for the stale-hit regression test — never use in
   /// production.
   bool wire_invalidation = true;
+  /// Admission control: queries served concurrently before new arrivals
+  /// are shed with Status::Unavailable (a cache hit is still attempted
+  /// first — it costs less than building the rejection). 0 = unlimited.
+  size_t max_inflight = 0;
+  /// Back-off hint attached to shed responses.
+  double shed_retry_after_ms = 50.0;
 };
 
 class LiveFrontend {
@@ -70,9 +78,14 @@ class LiveFrontend {
   MutableStore& store() { return *store_; }
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   size_t result_cache_size() const { return result_cache_.size(); }
+  /// Queries currently inside a Serve* call (the admission gauge
+  /// max_inflight sheds on; an operator load signal).
+  size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
 
   /// Exact range answer (ascending global ids), from cache when the
-  /// identical query+theta was served in the current epoch.
+  /// identical query+theta was served in the current epoch. Requires the
+  /// default options (no admission limit): with limits configured use
+  /// the Status overload, which can report the shed.
   std::vector<RankingId> ServeRange(const PreparedQuery& query,
                                     RawDistance theta_raw,
                                     Statistics* stats = nullptr);
@@ -80,6 +93,21 @@ class LiveFrontend {
   /// Exact k-NN answer ((distance, id) ascending, min(j, live) entries).
   std::vector<Neighbor> ServeKnn(const PreparedQuery& query, size_t j,
                                  Statistics* stats = nullptr);
+
+  /// Deadline/cancel/admission-aware range serving. `*out` holds the
+  /// exact answer on OK; on Unavailable (shed, see retry_after_ms()),
+  /// DeadlineExceeded, or Aborted it is empty, and nothing non-OK is
+  /// ever cached. `control` may be null (no deadline).
+  Status ServeRange(const PreparedQuery& query, RawDistance theta_raw,
+                    QueryControl* control, std::vector<RankingId>* out,
+                    Statistics* stats = nullptr);
+
+  /// Deadline/cancel/admission-aware k-NN serving; same contract.
+  Status ServeKnn(const PreparedQuery& query, size_t j, QueryControl* control,
+                  std::vector<Neighbor>* out, Statistics* stats = nullptr);
+
+  /// Back-off hint for Status::Unavailable responses.
+  double retry_after_ms() const { return options_.shed_retry_after_ms; }
 
   /// Generation bump: every cached entry becomes unservable. Thread-safe;
   /// this is what the store's mutation listener calls.
@@ -90,6 +118,8 @@ class LiveFrontend {
   LiveFrontendOptions options_;
   ResultCache result_cache_;
   std::atomic<uint64_t> epoch_{0};
+  /// Queries currently inside a Serve* call (admission gauge).
+  std::atomic<size_t> inflight_{0};
 };
 
 }  // namespace topk

@@ -1,5 +1,6 @@
 #include "storage/snapshot.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -8,6 +9,8 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "core/failpoint.h"
 
 namespace topk {
 namespace storage {
@@ -41,7 +44,7 @@ struct SectionPayload {
 struct FileCloser {
   explicit FileCloser(std::FILE* f) : file(f) {}
   ~FileCloser() {
-    if (file != nullptr) std::fclose(file);
+    if (file != nullptr) std::fclose(file);  // syscall-ok: RAII cleanup
   }
   FileCloser(const FileCloser&) = delete;
   FileCloser& operator=(const FileCloser&) = delete;
@@ -144,9 +147,27 @@ Status WriteStoreSnapshot(
   header.num_augmented_entries = augmented_arena.num_entries();
   header.directory_checksum = SnapshotChecksum(table, sizeof(table));
 
-  FileCloser out(std::fopen(path.c_str(), "wb"));
-  if (out.file == nullptr) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
+  // Crash-safe protocol: write everything to `path`.tmp, fsync the file,
+  // atomically rename over the final name, then fsync the parent
+  // directory so the rename itself survives power loss. A SIGKILL at any
+  // injected point below leaves either the previous file intact or the
+  // complete new one — never a torn final file; leftover .tmp files are
+  // swept by SnapshotManager's startup scan (storage_crash_test proves
+  // recovery at every one of these failpoints). Injected failures set
+  // errno = EIO so they take the exact annotation path a real kernel
+  // error takes.
+  const std::string tmp_path = path + ".tmp";
+  const auto fail = [&tmp_path](Status status) {
+    ::unlink(tmp_path.c_str());  // syscall-ok: best-effort cleanup
+    return status;
+  };
+
+  FileCloser out(std::fopen(tmp_path.c_str(), "wb"));
+  const bool open_failed = TOPK_FAILPOINT("storage.snapshot.open")
+                               ? (errno = EIO, true)
+                               : out.file == nullptr;
+  if (open_failed) {
+    return fail(Status::IOErrorFromErrno("open " + tmp_path, errno));
   }
   const size_t preamble = sizeof(header) + sizeof(table);
   bool ok = std::fwrite(&header, 1, sizeof(header), out.file) ==
@@ -154,6 +175,11 @@ Status WriteStoreSnapshot(
             std::fwrite(table, 1, sizeof(table), out.file) == sizeof(table) &&
             WritePadded(out.file, nullptr, 0, PageAlign(preamble) - preamble);
   for (uint32_t s = 0; ok && s < kSnapshotSectionCount; ++s) {
+    if (TOPK_FAILPOINT("storage.snapshot.write")) {
+      errno = EIO;
+      ok = false;
+      break;
+    }
     const size_t padded = (s + 1 < kSnapshotSectionCount
                                ? table[s + 1].offset
                                : PageAlign(table[s].offset + table[s].size)) -
@@ -161,8 +187,45 @@ Status WriteStoreSnapshot(
     ok = WritePadded(out.file, payloads[s].data, payloads[s].size, padded);
   }
   if (!ok || std::fflush(out.file) != 0) {
-    return Status::InvalidArgument("short write while snapshotting to " +
-                                   path);
+    return fail(Status::IOErrorFromErrno("write " + tmp_path, errno));
+  }
+  const bool fsync_failed = TOPK_FAILPOINT("storage.snapshot.fsync")
+                                ? (errno = EIO, true)
+                                : ::fsync(::fileno(out.file)) != 0;
+  if (fsync_failed) {
+    return fail(Status::IOErrorFromErrno("fsync " + tmp_path, errno));
+  }
+  {
+    std::FILE* file = out.file;
+    out.file = nullptr;  // the explicit close below owns it now
+    if (std::fclose(file) != 0) {
+      return fail(Status::IOErrorFromErrno("close " + tmp_path, errno));
+    }
+  }
+  const bool rename_failed =
+      TOPK_FAILPOINT("storage.snapshot.rename")
+          ? (errno = EIO, true)
+          : std::rename(tmp_path.c_str(), path.c_str()) != 0;
+  if (rename_failed) {
+    return fail(
+        Status::IOErrorFromErrno("rename " + tmp_path + " -> " + path,
+                                 errno));
+  }
+  // Durability of the rename needs the directory entry flushed too.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::IOErrorFromErrno("open directory " + dir, errno);
+  }
+  const bool dirsync_failed = TOPK_FAILPOINT("storage.snapshot.dirsync")
+                                  ? (errno = EIO, true)
+                                  : ::fsync(dir_fd) != 0;
+  const int dirsync_errno = errno;
+  ::close(dir_fd);  // syscall-ok: read-only directory handle
+  if (dirsync_failed) {
+    return Status::IOErrorFromErrno("fsync directory " + dir, dirsync_errno);
   }
   return Status::OK();
 }
@@ -181,33 +244,52 @@ class StoreSnapshot::Mapping {
   static Result<std::shared_ptr<Mapping>> Open(const std::string& path) {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
-      return Status::NotFound("cannot open snapshot: " + path);
+      const int err = errno;
+      if (err == ENOENT) {
+        return Status::NotFound("cannot open snapshot: " + path);
+      }
+      return Status::IOErrorFromErrno("open snapshot " + path, err);
     }
     struct stat st = {};
-    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-      ::close(fd);
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);  // syscall-ok: error-path cleanup
+      return Status::IOErrorFromErrno("stat snapshot " + path, err);
+    }
+    if (st.st_size < 0) {
+      ::close(fd);  // syscall-ok: error-path cleanup
       return Status::InvalidArgument("cannot stat snapshot: " + path);
     }
     const auto size = static_cast<size_t>(st.st_size);
     if (size == 0) {
-      ::close(fd);
+      ::close(fd);  // syscall-ok: error-path cleanup
       return Status::InvalidArgument("snapshot file is empty: " + path);
     }
     void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);  // the mapping keeps its own reference
+    int err = errno;
+    ::close(fd);  // syscall-ok: the mapping keeps its own reference
+    if (TOPK_FAILPOINT("storage.snapshot.mmap") && base != MAP_FAILED) {
+      // The degraded-read path treats an injected mmap failure exactly
+      // like ENOMEM from the kernel: unwind and report.
+      ::munmap(base, size);  // syscall-ok: unwinding the injected failure
+      base = MAP_FAILED;
+      err = EIO;
+    }
     if (base == MAP_FAILED) {
-      return Status::InvalidArgument("mmap failed for snapshot: " + path);
+      return Status::IOErrorFromErrno("mmap snapshot " + path, err);
     }
     // Posting access at query time is random by item id; default mmap
     // readahead would fault megabytes around every touched page and
     // defeat the larger-than-RAM story (and the residency evidence).
     // Best-effort: a kernel that rejects the hint just reads ahead.
-    ::madvise(base, size, MADV_RANDOM);
+    ::madvise(base, size, MADV_RANDOM);  // syscall-ok: best-effort hint
     return std::make_shared<Mapping>(static_cast<const uint8_t*>(base), size);
   }
 
   Mapping(const uint8_t* base, size_t size) : base_(base), size_(size) {}
-  ~Mapping() { ::munmap(const_cast<uint8_t*>(base_), size_); }
+  ~Mapping() {
+    ::munmap(const_cast<uint8_t*>(base_), size_);  // syscall-ok: destructor
+  }
   Mapping(const Mapping&) = delete;
   Mapping& operator=(const Mapping&) = delete;
 
@@ -410,7 +492,11 @@ Result<StoreSnapshot> OpenStoreSnapshot(const std::string& path) {
 Status VerifySnapshotChecksums(const std::string& path) {
   FileCloser in(std::fopen(path.c_str(), "rb"));
   if (in.file == nullptr) {
-    return Status::NotFound("cannot open snapshot: " + path);
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound("cannot open snapshot: " + path);
+    }
+    return Status::IOErrorFromErrno("open snapshot " + path, err);
   }
   SnapshotHeader header;
   SnapshotSection table[kSnapshotSectionCount];

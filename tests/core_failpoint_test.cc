@@ -1,0 +1,224 @@
+// Failpoint registry + deadline/cancellation unit tests: deterministic
+// firing schedules (fail-nth, every-k, one-shot, probability thinning),
+// the spec-string parser, hit tracing, and the QueryControl stop
+// contract (amortized deadline polls, sticky latch, cancel tokens).
+// The registry itself compiles into every build — only the
+// TOPK_FAILPOINT probe macro is gated — so all schedule tests run
+// regardless of -DTOPK_FAILPOINTS.
+
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/deadline.h"
+
+namespace topk {
+namespace {
+
+/// Every test starts and leaves the process-wide registry pristine.
+class FailpointRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override { Reset(); }
+  static void Reset() {
+    FailpointRegistry::Instance().DisarmAll();
+    FailpointRegistry::Instance().ResetCounts();
+  }
+};
+
+/// The firing pattern of `site` over `hits` sequential evaluations.
+std::vector<bool> FiringPattern(const char* site, int hits) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<size_t>(hits));
+  for (int i = 0; i < hits; ++i) {
+    fired.push_back(FailpointRegistry::Instance().Evaluate(site));
+  }
+  return fired;
+}
+
+TEST_F(FailpointRegistryTest, UnarmedSiteCountsHitsButNeverFires) {
+  auto& registry = FailpointRegistry::Instance();
+  for (const bool fired : FiringPattern("test.unarmed", 10)) {
+    EXPECT_FALSE(fired);
+  }
+  EXPECT_EQ(registry.hits("test.unarmed"), 10u);
+  EXPECT_EQ(registry.fires("test.unarmed"), 0u);
+}
+
+TEST_F(FailpointRegistryTest, FailNthFiresOnlyFromTheNthHit) {
+  FailpointSpec spec;
+  spec.start_hit = 3;
+  FailpointRegistry::Instance().Arm("test.nth", spec);
+  const std::vector<bool> fired = FiringPattern("test.nth", 5);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST_F(FailpointRegistryTest, OneShotFiresExactlyOnce) {
+  FailpointSpec spec;
+  spec.start_hit = 2;
+  spec.max_fires = 1;
+  FailpointRegistry::Instance().Arm("test.oneshot", spec);
+  const std::vector<bool> fired = FiringPattern("test.oneshot", 6);
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, true, false, false, false, false}));
+  EXPECT_EQ(FailpointRegistry::Instance().fires("test.oneshot"), 1u);
+}
+
+TEST_F(FailpointRegistryTest, EveryKSkipsBetweenFirings) {
+  FailpointSpec spec;
+  spec.start_hit = 1;
+  spec.every = 3;
+  FailpointRegistry::Instance().Arm("test.everyk", spec);
+  const std::vector<bool> fired = FiringPattern("test.everyk", 7);
+  EXPECT_EQ(fired,
+            (std::vector<bool>{true, false, false, true, false, false, true}));
+}
+
+TEST_F(FailpointRegistryTest, ProbabilityThinningIsDeterministic) {
+  FailpointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+  FailpointRegistry::Instance().Arm("test.prob", spec);
+  const std::vector<bool> first = FiringPattern("test.prob", 200);
+  const uint64_t fired_count = FailpointRegistry::Instance().fires("test.prob");
+  // The draw is thinned (not all) but not dead (not none).
+  EXPECT_GT(fired_count, 0u);
+  EXPECT_LT(fired_count, 200u);
+
+  // Same seed, same schedule -> bit-identical firing pattern on a rerun.
+  FailpointRegistry::Instance().ResetCounts();
+  EXPECT_EQ(FiringPattern("test.prob", 200), first);
+}
+
+TEST_F(FailpointRegistryTest, DisarmStopsFiringButKeepsCountingHits) {
+  FailpointSpec spec;
+  FailpointRegistry::Instance().Arm("test.disarm", spec);
+  EXPECT_TRUE(FailpointRegistry::Instance().Evaluate("test.disarm"));
+  FailpointRegistry::Instance().Disarm("test.disarm");
+  EXPECT_FALSE(FailpointRegistry::Instance().Evaluate("test.disarm"));
+  EXPECT_EQ(FailpointRegistry::Instance().hits("test.disarm"), 2u);
+}
+
+TEST_F(FailpointRegistryTest, SitesHitTracesFirstHitOrder) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.Evaluate("test.trace.b");
+  registry.Evaluate("test.trace.a");
+  registry.Evaluate("test.trace.b");
+  EXPECT_EQ(registry.SitesHit(),
+            (std::vector<std::string>{"test.trace.b", "test.trace.a"}));
+  registry.ResetCounts();
+  EXPECT_TRUE(registry.SitesHit().empty());
+  EXPECT_EQ(registry.hits("test.trace.b"), 0u);
+}
+
+TEST_F(FailpointRegistryTest, SpecStringArmsScheduleFields) {
+  auto& registry = FailpointRegistry::Instance();
+  const Status status =
+      registry.ArmFromSpecString("test.spec.a=error@2/3x2;test.spec.b=error");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // start 2, every 3, max 2 -> fires on hits 2 and 5 only.
+  const std::vector<bool> a = FiringPattern("test.spec.a", 9);
+  EXPECT_EQ(a, (std::vector<bool>{false, true, false, false, true, false,
+                                  false, false, false}));
+  // No schedule -> every hit fires.
+  for (const bool fired : FiringPattern("test.spec.b", 3)) {
+    EXPECT_TRUE(fired);
+  }
+}
+
+TEST_F(FailpointRegistryTest, SpecStringRejectsMalformedEntries) {
+  auto& registry = FailpointRegistry::Instance();
+  for (const char* bad :
+       {"nosign", "=error", "test.x=explode", "test.x=error@0",
+        "test.x=error@1/0"}) {
+    const Status status = registry.ArmFromSpecString(bad);
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << bad;
+  }
+}
+
+TEST_F(FailpointRegistryTest, ProbeMacroMatchesBuildMode) {
+  // In a -DTOPK_FAILPOINTS build the macro reaches the registry and an
+  // armed site fires; in a default build it folds to `false` and the
+  // registry never even sees the hit.
+  FailpointRegistry::Instance().Arm("test.macro", FailpointSpec{});
+  const bool fired = TOPK_FAILPOINT("test.macro");
+  EXPECT_EQ(fired, FailpointsCompiledIn());
+  EXPECT_EQ(FailpointRegistry::Instance().hits("test.macro"),
+            FailpointsCompiledIn() ? 1u : 0u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(Deadline::Infinite().RemainingMillis(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  const Deadline deadline = Deadline::AfterMillis(-1.0);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_LT(deadline.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousDeadlineIsNotExpiredYet) {
+  const Deadline deadline = Deadline::AfterMillis(60'000.0);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingMillis(), 0.0);
+}
+
+TEST(QueryControlTest, InfiniteControlNeverStops) {
+  QueryControl control;
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_FALSE(control.ShouldStop());
+  }
+  EXPECT_FALSE(control.stopped());
+}
+
+TEST(QueryControlTest, ExpiredDeadlineStopsOnTheFirstPoll) {
+  QueryControl control(Deadline::AfterMillis(-1.0));
+  // The first poll on a fresh control is precise — the serving layers'
+  // entry checks rely on it to fail already-expired queries fast.
+  EXPECT_TRUE(control.ShouldStop());
+  EXPECT_TRUE(control.stopped());
+  EXPECT_FALSE(control.cancelled());
+  // Sticky: every later poll answers immediately.
+  EXPECT_TRUE(control.ShouldStop());
+}
+
+TEST(QueryControlTest, ExpiredNowIsPrecise) {
+  QueryControl expired(Deadline::AfterMillis(-1.0));
+  EXPECT_TRUE(expired.ExpiredNow());  // no stride amortization here
+  QueryControl live(Deadline::AfterMillis(60'000.0));
+  EXPECT_FALSE(live.ExpiredNow());
+}
+
+TEST(QueryControlTest, CancelTokenStopsImmediatelyAndIsSticky) {
+  CancelToken token;
+  QueryControl control(Deadline::Infinite(), &token);
+  EXPECT_FALSE(control.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(control.ShouldStop());
+  EXPECT_TRUE(control.cancelled());
+  EXPECT_TRUE(control.stopped());
+}
+
+TEST(QueryControlTest, OneTokenCoversManyControls) {
+  CancelToken token;
+  QueryControl a(Deadline::Infinite(), &token);
+  QueryControl b(Deadline::Infinite(), &token);
+  token.Cancel();
+  EXPECT_TRUE(a.ShouldStop());
+  EXPECT_TRUE(b.ShouldStop());
+}
+
+}  // namespace
+}  // namespace topk

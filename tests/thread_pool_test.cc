@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
+
 namespace topk {
 namespace {
 
@@ -119,6 +121,58 @@ TEST(ThreadPoolTest, StressManyTinyTasks) {
   pool.ParallelFor(kLooped, [&sum](size_t) { sum.fetch_add(1); });
   for (std::future<void>& f : pending) f.get();
   EXPECT_EQ(sum.load(), kSubmitted * (kSubmitted - 1) / 2 + kLooped);
+}
+
+TEST(ThreadPoolTest, SubmitInjectedFaultSurfacesThroughFuture) {
+  if (!FailpointsCompiledIn()) {
+    GTEST_SKIP() << "needs -DTOPK_FAILPOINTS=ON";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  registry.ResetCounts();
+  FailpointSpec one_shot;
+  one_shot.max_fires = 1;
+  registry.Arm("harness.thread_pool.task", one_shot);
+  ThreadPool pool(2);
+  // The probe lives inside the packaged task, so an injected fault takes
+  // the same path as an exception from the task body: into the future,
+  // never into WorkerLoop (which would std::terminate).
+  EXPECT_THROW(pool.Submit([] { return 1; }).get(), std::runtime_error);
+  // One-shot spent: the worker survived and the pool keeps working.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+  registry.DisarmAll();
+  registry.ResetCounts();
+}
+
+TEST(ThreadPoolTest, ParallelForInjectedTaskFaultNoDeadlock) {
+  if (!FailpointsCompiledIn()) {
+    GTEST_SKIP() << "needs -DTOPK_FAILPOINTS=ON";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  registry.ResetCounts();
+  FailpointSpec one_shot;
+  one_shot.max_fires = 1;
+  registry.Arm("harness.thread_pool.task", one_shot);
+  ThreadPool pool(3);
+  constexpr size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  // The fault kills one helper's drain before it claims any index, but
+  // ParallelFor joins every helper and the caller's own drain (which
+  // never goes through Submit, so it is never probed) covers whatever
+  // the dead helper would have done: all indices run, exactly once, and
+  // the injected error is rethrown instead of hanging the join.
+  EXPECT_THROW(pool.ParallelFor(kN,
+                                [&hits](size_t i) { hits[i].fetch_add(1); }),
+               std::runtime_error);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  registry.DisarmAll();
+  registry.ResetCounts();
+
+  // With the one-shot spent the pool is clean and fully reusable.
+  std::vector<std::atomic<int>> again(kN);
+  pool.ParallelFor(kN, [&again](size_t i) { again[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(again[i].load(), 1);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsWithQueuedWork) {
